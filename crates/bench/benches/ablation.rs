@@ -1,0 +1,129 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! 1. randomized vs linear slot placement in the centralized push
+//!    (Listing 1 line 9 — "Randomization is used to improve scalability");
+//! 2. dead-task elimination on vs off (§5.1 lazy removal);
+//! 3. hybrid (temporal ρ-relaxation, lock-free) vs the structural
+//!    prototype (§5.3);
+//! 4. binary heap vs pairing heap as the place-local priority queue
+//!    (§4.1: "any sequential implementation … can be used").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use priosched_core::centralized::{CentralizedKPriority, Placement};
+use priosched_core::{PoolHandle, PoolKind, TaskPool};
+use priosched_graph::{erdos_renyi, ErdosRenyiConfig};
+use priosched_pq::{BinaryHeap, PairingHeap, QuaternaryHeap, SequentialPriorityQueue};
+use priosched_sssp::{run_sssp_kind, SsspConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn placement_cycle(placement: Placement, threads: usize) {
+    let pool = Arc::new(CentralizedKPriority::<u64>::with_placement(
+        threads, 256, placement,
+    ));
+    let per = 5_000u64;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let pool = Arc::clone(&pool);
+            s.spawn(move || {
+                let mut h = pool.handle(t);
+                for i in 0..per {
+                    h.push(i ^ 0x5555, 256, i);
+                }
+                let mut n = 0;
+                while h.pop().is_some() {
+                    n += 1;
+                }
+                criterion::black_box(n);
+            });
+        }
+    });
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_placement");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.bench_function("random_offset", |b| {
+        b.iter(|| placement_cycle(Placement::Random, 2))
+    });
+    g.bench_function("linear_probe", |b| {
+        b.iter(|| placement_cycle(Placement::Linear, 2))
+    });
+    g.finish();
+}
+
+fn bench_dead_elimination(c: &mut Criterion) {
+    let graph = erdos_renyi(&ErdosRenyiConfig {
+        n: 600,
+        p: 0.3,
+        seed: 1000,
+    });
+    let mut g = c.benchmark_group("ablation_dead_task_elimination");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    for (name, eliminate) in [("eliminate_on", true), ("eliminate_off", false)] {
+        g.bench_function(name, |b| {
+            let cfg = SsspConfig {
+                places: 4,
+                k: 512,
+                kmax: 512,
+                eliminate_dead: eliminate,
+            };
+            b.iter(|| criterion::black_box(run_sssp_kind(PoolKind::Hybrid, &graph, 0, &cfg)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_structural_vs_hybrid(c: &mut Criterion) {
+    let graph = erdos_renyi(&ErdosRenyiConfig {
+        n: 600,
+        p: 0.3,
+        seed: 1000,
+    });
+    let mut g = c.benchmark_group("ablation_structural_vs_hybrid");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    for kind in [PoolKind::Hybrid, PoolKind::Structural] {
+        g.bench_function(kind.label(), |b| {
+            let cfg = SsspConfig {
+                places: 4,
+                k: 64,
+                kmax: 512,
+                eliminate_dead: true,
+            };
+            b.iter(|| criterion::black_box(run_sssp_kind(kind, &graph, 0, &cfg)))
+        });
+    }
+    g.finish();
+}
+
+fn heap_cycle<Q: SequentialPriorityQueue<u64>>() {
+    let mut q = Q::new();
+    for i in 0..10_000u64 {
+        q.push(i.wrapping_mul(0x9E3779B97F4A7C15) >> 32);
+    }
+    while q.pop().is_some() {}
+}
+
+fn bench_local_pq(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_local_pq");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.bench_function("binary_heap", |b| b.iter(heap_cycle::<BinaryHeap<u64>>));
+    g.bench_function("pairing_heap", |b| b.iter(heap_cycle::<PairingHeap<u64>>));
+    g.bench_function("quaternary_heap", |b| {
+        b.iter(heap_cycle::<QuaternaryHeap<u64>>)
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_placement,
+    bench_dead_elimination,
+    bench_structural_vs_hybrid,
+    bench_local_pq
+);
+criterion_main!(benches);

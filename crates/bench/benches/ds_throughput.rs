@@ -1,0 +1,100 @@
+//! Data-structure push/pop throughput — the congestion behaviour underlying
+//! Figures 4–5.
+//!
+//! Single-threaded cost per op for each structure (pure overhead ranking)
+//! plus a small contended producer/consumer scenario.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use priosched_core::{
+    CentralizedKPriority, HybridKPriority, PoolHandle, PriorityWorkStealing, StructuralKPriority,
+    TaskPool,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+const OPS: u64 = 10_000;
+
+fn push_pop_cycle<P: TaskPool<u64>>(pool: Arc<P>) {
+    let mut h = pool.handle(0);
+    for i in 0..OPS {
+        // Pseudo-random priorities; xorshift-style scramble of i.
+        let prio = i.wrapping_mul(0x9E3779B97F4A7C15) >> 32;
+        h.push(prio, 64, i);
+    }
+    let mut got = 0;
+    while h.pop().is_some() {
+        got += 1;
+    }
+    assert_eq!(got, OPS);
+}
+
+fn bench_single_thread(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ds_single_thread_push_pop");
+    g.throughput(Throughput::Elements(2 * OPS));
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.bench_function("work_stealing", |b| {
+        b.iter(|| push_pop_cycle(Arc::new(PriorityWorkStealing::new(1))))
+    });
+    g.bench_function("centralized", |b| {
+        b.iter(|| push_pop_cycle(Arc::new(CentralizedKPriority::with_defaults(1))))
+    });
+    g.bench_function("hybrid", |b| {
+        b.iter(|| push_pop_cycle(Arc::new(HybridKPriority::new(1))))
+    });
+    g.bench_function("structural", |b| {
+        b.iter(|| push_pop_cycle(Arc::new(StructuralKPriority::new(1, 64))))
+    });
+    g.finish();
+}
+
+fn contended_cycle<P: TaskPool<u64>>(pool: Arc<P>, threads: usize) {
+    let per = OPS / threads as u64;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let pool = Arc::clone(&pool);
+            s.spawn(move || {
+                let mut h = pool.handle(t);
+                let mut popped = 0u64;
+                for i in 0..per {
+                    let prio = i.wrapping_mul(0x9E3779B97F4A7C15) >> 32;
+                    h.push(prio, 64, i);
+                    if i % 2 == 1 {
+                        // Interleave pops so both paths stay hot.
+                        if h.pop().is_some() {
+                            popped += 1;
+                        }
+                    }
+                }
+                while h.pop().is_some() {
+                    popped += 1;
+                }
+                criterion::black_box(popped);
+            });
+        }
+    });
+}
+
+fn bench_contended(c: &mut Criterion) {
+    let threads = 2;
+    let mut g = c.benchmark_group("ds_contended_push_pop");
+    g.throughput(Throughput::Elements(2 * OPS));
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    for name in ["work_stealing", "centralized", "hybrid", "structural"] {
+        g.bench_with_input(BenchmarkId::new(name, threads), &threads, |b, &t| {
+            b.iter(|| match name {
+                "work_stealing" => contended_cycle(Arc::new(PriorityWorkStealing::new(t)), t),
+                "centralized" => {
+                    contended_cycle(Arc::new(CentralizedKPriority::with_defaults(t)), t)
+                }
+                "hybrid" => contended_cycle(Arc::new(HybridKPriority::new(t)), t),
+                _ => contended_cycle(Arc::new(StructuralKPriority::new(t, 64)), t),
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_single_thread, bench_contended);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Figure 3 machinery under criterion: phase-simulator throughput and the
+//! cost of evaluating Theorem 5's bound (the full figure lives in the
+//! `fig3_simulation` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use priosched_graph::{erdos_renyi, ErdosRenyiConfig};
+use priosched_sim::{simulate_sssp, SimConfig, TheoryBound};
+use std::time::Duration;
+
+fn bench_fig3(c: &mut Criterion) {
+    let graph = erdos_renyi(&ErdosRenyiConfig {
+        n: 600,
+        p: 0.5,
+        seed: 1000,
+    });
+    let mut g = c.benchmark_group("fig3_simulator");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    for (p, rho) in [(16usize, 0usize), (80, 0), (80, 512)] {
+        g.bench_with_input(
+            BenchmarkId::new("simulate", format!("p{p}_rho{rho}")),
+            &(p, rho),
+            |b, &(p, rho)| {
+                b.iter(|| {
+                    criterion::black_box(simulate_sssp(&graph, 0, &SimConfig { p, rho, seed: 3 }))
+                })
+            },
+        );
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("fig3_theory_bound");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    let tb = TheoryBound::new(10_000, 0.5);
+    let dists: Vec<f64> = (0..80).map(|i| 0.2 + i as f64 * 1e-4).collect();
+    g.bench_function("pairwise_80_nodes", |b| {
+        b.iter(|| criterion::black_box(tb.useless_upper_bound(&dists)))
+    });
+    g.bench_function("hstar_80_nodes", |b| {
+        b.iter(|| criterion::black_box(tb.useless_upper_bound_hstar(80.0 * 1e-4, 80)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

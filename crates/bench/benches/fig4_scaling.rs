@@ -1,0 +1,46 @@
+//! Figure 4 headline points under criterion: SSSP wall time per structure
+//! and place count (scaled graph; the full sweep lives in the
+//! `fig4_scaling` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use priosched_core::PoolKind;
+use priosched_graph::{dijkstra, erdos_renyi, ErdosRenyiConfig};
+use priosched_sssp::{run_sssp_kind, SsspConfig};
+use std::time::Duration;
+
+fn bench_fig4(c: &mut Criterion) {
+    let graph = erdos_renyi(&ErdosRenyiConfig {
+        n: 600,
+        p: 0.3,
+        seed: 1000,
+    });
+    let mut g = c.benchmark_group("fig4_sssp_vs_places");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+
+    g.bench_function("sequential_dijkstra", |b| {
+        b.iter(|| criterion::black_box(dijkstra(&graph, 0)))
+    });
+
+    for kind in PoolKind::PAPER {
+        for places in [1usize, 2, 4] {
+            g.bench_with_input(
+                BenchmarkId::new(kind.label(), places),
+                &places,
+                |b, &places| {
+                    let cfg = SsspConfig {
+                        places,
+                        k: 512,
+                        kmax: 512,
+                        eliminate_dead: true,
+                    };
+                    b.iter(|| criterion::black_box(run_sssp_kind(kind, &graph, 0, &cfg)))
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Figure 5 headline points under criterion: SSSP wall time vs k for the
+//! two k-priority structures (scaled graph; the full sweep lives in the
+//! `fig5_k_sweep` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use priosched_core::PoolKind;
+use priosched_graph::{erdos_renyi, ErdosRenyiConfig};
+use priosched_sssp::{run_sssp_kind, SsspConfig};
+use std::time::Duration;
+
+fn bench_fig5(c: &mut Criterion) {
+    let graph = erdos_renyi(&ErdosRenyiConfig {
+        n: 600,
+        p: 0.3,
+        seed: 1000,
+    });
+    let mut g = c.benchmark_group("fig5_sssp_vs_k");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+
+    for kind in [PoolKind::Centralized, PoolKind::Hybrid] {
+        for k in [1usize, 32, 512, 8192] {
+            g.bench_with_input(BenchmarkId::new(kind.label(), k), &k, |b, &k| {
+                let cfg = SsspConfig {
+                    places: 4,
+                    k,
+                    kmax: 512,
+                    eliminate_dead: true,
+                };
+                b.iter(|| criterion::black_box(run_sssp_kind(kind, &graph, 0, &cfg)))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

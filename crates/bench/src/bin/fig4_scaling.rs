@@ -1,0 +1,89 @@
+//! Figure 4: total execution time and nodes relaxed for varying P
+//! (n = 10000, k = 512, p = 50% in the paper).
+//!
+//! Series: sequential Dijkstra (shown at one thread) plus the three
+//! structures at P ∈ {1, 2, 3, 5, 10, 20, 40, 80} (capped at the host's
+//! usable thread budget unless --full).
+
+use priosched_bench::{fig4_place_sweep, mean, write_csv, HarnessConfig};
+use priosched_core::PoolKind;
+use priosched_graph::dijkstra;
+use priosched_sssp::{run_sssp_kind, run_sssp_lockstep_kind, SsspConfig};
+use std::time::Instant;
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    cfg.banner("Figure 4: time & nodes relaxed vs P (k = 512)");
+    let graphs = cfg.graph_set();
+    let places_sweep = fig4_place_sweep(cfg.places);
+    let k = 512usize;
+
+    let mut rows = Vec::new();
+
+    // Sequential baseline (P = 1 column of the paper's figure).
+    let mut seq_times = Vec::new();
+    let mut seq_relaxed = Vec::new();
+    for g in &graphs {
+        let t0 = Instant::now();
+        let r = dijkstra(g, 0);
+        seq_times.push(t0.elapsed().as_secs_f64());
+        seq_relaxed.push(r.relaxations as f64);
+    }
+    let seq_t = mean(seq_times.iter().copied());
+    let seq_n = mean(seq_relaxed.iter().copied());
+    println!(
+        "{:<14} {:>3}  time {:>9.4}s  relaxed {:>9.0}",
+        "Sequential", 1, seq_t, seq_n
+    );
+    rows.push(format!("Sequential,1,{seq_t:.6},{seq_n:.1}"));
+
+    // "time" comes from the threaded runner (real wall clock); "relaxed"
+    // comes from the lockstep runner, which reproduces the task-granular
+    // interleaving of a P-core machine deterministically — on hosts with
+    // few cores, OS timeslicing would otherwise hide the ordering effects
+    // the figure is about (see priosched_sssp::lockstep docs).
+    for kind in PoolKind::PAPER {
+        for &places in &places_sweep {
+            let mut times = Vec::new();
+            let mut relaxed = Vec::new();
+            let mut dead = Vec::new();
+            for g in &graphs {
+                let sssp_cfg = SsspConfig {
+                    places,
+                    k,
+                    kmax: 512,
+                    eliminate_dead: true,
+                };
+                let timed = run_sssp_kind(kind, g, 0, &sssp_cfg);
+                times.push(timed.elapsed.as_secs_f64());
+                let ordered = run_sssp_lockstep_kind(kind, g, 0, &sssp_cfg);
+                relaxed.push(ordered.relaxed as f64);
+                dead.push(ordered.dead as f64);
+            }
+            let t = mean(times.iter().copied());
+            let n = mean(relaxed.iter().copied());
+            let d = mean(dead.iter().copied());
+            println!(
+                "{:<14} {:>3}  time {:>9.4}s  relaxed {:>9.0}  dead {:>8.0}",
+                kind.label(),
+                places,
+                t,
+                n,
+                d
+            );
+            rows.push(format!("{},{places},{t:.6},{n:.1}", kind.label()));
+        }
+    }
+
+    let path = write_csv(
+        &cfg.out_dir,
+        "fig4_time_and_relaxed_vs_places.csv",
+        "structure,places,time_s,nodes_relaxed",
+        &rows,
+    )
+    .unwrap();
+    println!("\nreference shapes (paper, 80-core Xeon):");
+    println!(" - all parallel structures relax ≈ n nodes except Work-Stealing (> 2n)");
+    println!(" - times drop below sequential from P ≥ 2, flatten when memory-bound");
+    println!("CSV: {}", path.display());
+}

@@ -1,0 +1,489 @@
+//! Tagged task items and their recycling pool.
+//!
+//! Both k-priority structures store every task inside an *item* carrying the
+//! task payload plus scheduling metadata (`place`, `k`, priority) and a
+//! **tag** (§4.1.1, §4.1.3). The tag is initialized to the item's position
+//! in the owning structure — positions are strictly increasing — and a task
+//! is *taken* by atomically CASing the tag from the expected position to a
+//! sentinel. Because a recycled item is always re-tagged with a fresh, never
+//! previously used position, a stale reference's CAS can never succeed: this
+//! is the paper's ABA protection, reproduced here unchanged.
+//!
+//! # Memory management substitution
+//!
+//! The paper allocates items through a wait-free memory manager \[18\] and
+//! reuses an item "as soon as the previous task has been executed". We keep
+//! the reuse scheme but back it with an [`ItemPool`]: a grow-only list of
+//! item blocks (lock-free CAS push of fully initialized blocks) plus a
+//! lock-free free list ([`crossbeam_queue::SegQueue`]) for recycling. Item
+//! memory is released only when the pool is dropped, which makes it sound
+//! for stale references to *read the tag* of a recycled item — the
+//! dereference is always into live memory, and the tag comparison detects
+//! the recycling.
+//!
+//! # Payload handoff
+//!
+//! One deliberate deviation from Listing 2: the paper reads the task out of
+//! the item *before* the take-CAS because their items may be recycled
+//! immediately after the CAS. For arbitrary `T` that read would be a data
+//! race. Here the unique CAS winner reads the payload *after* winning and
+//! only then releases the item for reuse ([`Item::try_take`] +
+//! [`ItemPool::release`]), so the handoff is race-free without changing the
+//! algorithm's structure.
+
+use crossbeam_queue::SegQueue;
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, Ordering};
+
+/// Tag of an item sitting in the free list (or never used). No payload.
+pub const TAG_FREE: u64 = u64::MAX;
+/// Tag of an item whose task has been taken. No payload.
+pub const TAG_TAKEN: u64 = u64::MAX - 1;
+/// Exclusive upper bound for position tags.
+pub const MAX_POSITION: u64 = u64::MAX - 2;
+
+/// Items per allocation block.
+const BLOCK_LEN: usize = 1024;
+
+/// A task wrapper with take-once semantics.
+///
+/// Field access rules (enforced by the structures, not the type system):
+/// * `payload` is written exactly once per lifecycle, by the thread that
+///   acquired the item from the pool, *before* the item is published;
+/// * `payload` is read exactly once, by the unique winner of the take-CAS;
+/// * all other fields are atomics and may be read by any thread at any time
+///   (reads of recycled items yield stale metadata, which callers tolerate —
+///   any decision based on it is revalidated by the tag CAS).
+pub struct Item<T> {
+    /// Position tag, [`TAG_TAKEN`], or [`TAG_FREE`].
+    pub tag: AtomicU64,
+    /// Priority key (smaller = higher priority).
+    pub prio: AtomicU64,
+    /// Id of the place that created the current task.
+    pub place: AtomicU32,
+    /// Per-task relaxation parameter `k`.
+    pub k: AtomicU32,
+    payload: UnsafeCell<MaybeUninit<T>>,
+}
+
+impl<T> Item<T> {
+    fn empty() -> Self {
+        Item {
+            tag: AtomicU64::new(TAG_FREE),
+            prio: AtomicU64::new(0),
+            place: AtomicU32::new(0),
+            k: AtomicU32::new(0),
+            payload: UnsafeCell::new(MaybeUninit::uninit()),
+        }
+    }
+
+    /// Initializes a freshly acquired item with a new task.
+    ///
+    /// Does **not** set the tag: the caller stores the position tag with
+    /// `Release` ordering as the final step before (or together with)
+    /// publication, which is what makes the payload visible to the taker.
+    ///
+    /// # Safety
+    /// The caller must have exclusive ownership of the item (freshly
+    /// returned by [`ItemPool::acquire`], not yet published).
+    pub unsafe fn init(&self, place: u32, k: u32, prio: u64, task: T) {
+        debug_assert_eq!(self.tag.load(Ordering::Relaxed), TAG_FREE);
+        (*self.payload.get()).write(task);
+        self.prio.store(prio, Ordering::Relaxed);
+        self.place.store(place, Ordering::Relaxed);
+        self.k.store(k, Ordering::Relaxed);
+    }
+
+    /// Attempts to take the task by CASing the tag from `expected_tag` to
+    /// [`TAG_TAKEN`]. On success the unique winner receives the payload.
+    ///
+    /// Fails (returns `None`) when the item was already taken, or recycled
+    /// under a different position — the ABA case the tag exists to detect.
+    pub fn try_take(&self, expected_tag: u64) -> Option<T> {
+        debug_assert!(expected_tag < MAX_POSITION);
+        if self
+            .tag
+            .compare_exchange(expected_tag, TAG_TAKEN, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+        {
+            // SAFETY: the CAS succeeded, so we are the unique winner for
+            // this lifecycle; the publisher's Release store of the tag
+            // happens-before our Acquire, making the payload write visible.
+            // The item cannot be recycled until we put it back in the pool.
+            Some(unsafe { (*self.payload.get()).assume_init_read() })
+        } else {
+            None
+        }
+    }
+
+    /// `true` when the item currently carries the given position tag
+    /// (cheap pre-check to skip CAS attempts on dead references).
+    #[inline]
+    pub fn is_live_at(&self, expected_tag: u64) -> bool {
+        self.tag.load(Ordering::Acquire) == expected_tag
+    }
+}
+
+/// Raw item pointer wrapper so pointers can travel through the free list.
+struct ItemSlot<T>(*const Item<T>);
+// SAFETY: the pointer is only dereferenced under the pool's ownership
+// discipline; the payload it guards is `T: Send`.
+unsafe impl<T: Send> Send for ItemSlot<T> {}
+
+/// A block of items plus an intrusive link for the grow-only block list.
+struct Block<T> {
+    items: Box<[Item<T>]>,
+    next: *mut Block<T>,
+}
+
+/// Grow-only, recycle-forever item pool.
+///
+/// * `acquire` pops the lock-free free list, allocating a new block only
+///   when the list is empty (block publication is a CAS push onto a
+///   grow-only list, so the slow path is lock-free as well);
+/// * `release` re-tags the item [`TAG_FREE`] and pushes it back;
+/// * memory is reclaimed only on drop, at which point payloads of still-live
+///   items (pushed but never taken) are dropped in place.
+pub struct ItemPool<T> {
+    free: SegQueue<ItemSlot<T>>,
+    blocks: AtomicPtr<Block<T>>,
+    allocated: AtomicU64,
+}
+
+impl<T: Send> ItemPool<T> {
+    /// Creates an empty pool; the first block is allocated lazily.
+    pub fn new() -> Self {
+        ItemPool {
+            free: SegQueue::new(),
+            blocks: AtomicPtr::new(ptr::null_mut()),
+            allocated: AtomicU64::new(0),
+        }
+    }
+
+    /// Fetches a free item. The returned item has tag [`TAG_FREE`] and no
+    /// payload; the caller must [`Item::init`] it and set its tag before
+    /// publication.
+    pub fn acquire(&self) -> *const Item<T> {
+        if let Some(ItemSlot(p)) = self.free.pop() {
+            debug_assert_eq!(
+                unsafe { &*p }.tag.load(Ordering::Relaxed),
+                TAG_FREE,
+                "free-list item must be tagged FREE"
+            );
+            return p;
+        }
+        self.grow()
+    }
+
+    /// Allocates a new block, keeps one item, donates the rest.
+    fn grow(&self) -> *const Item<T> {
+        let items: Box<[Item<T>]> = (0..BLOCK_LEN).map(|_| Item::empty()).collect();
+        let kept = &items[0] as *const Item<T>;
+        for item in items.iter().skip(1) {
+            self.free.push(ItemSlot(item as *const Item<T>));
+        }
+        let block = Box::into_raw(Box::new(Block {
+            items,
+            next: ptr::null_mut(),
+        }));
+        // CAS push onto the grow-only block list; no ABA because blocks are
+        // never removed while the pool is alive.
+        let mut head = self.blocks.load(Ordering::Relaxed);
+        loop {
+            unsafe { (*block).next = head };
+            match self.blocks.compare_exchange_weak(
+                head,
+                block,
+                Ordering::Release,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(h) => head = h,
+            }
+        }
+        self.allocated
+            .fetch_add(BLOCK_LEN as u64, Ordering::Relaxed);
+        kept
+    }
+
+    /// Returns a taken item for reuse.
+    ///
+    /// # Safety
+    /// `item` must have been acquired from this pool, its tag must be
+    /// [`TAG_TAKEN`] (payload already moved out by [`Item::try_take`]), and
+    /// the caller must not touch it afterwards.
+    pub unsafe fn release(&self, item: *const Item<T>) {
+        let it = &*item;
+        debug_assert_eq!(it.tag.load(Ordering::Relaxed), TAG_TAKEN);
+        it.tag.store(TAG_FREE, Ordering::Release);
+        self.free.push(ItemSlot(item));
+    }
+
+    /// Total items ever allocated (live + free).
+    pub fn allocated(&self) -> u64 {
+        self.allocated.load(Ordering::Relaxed)
+    }
+}
+
+impl<T: Send> Default for ItemPool<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Drop for ItemPool<T> {
+    fn drop(&mut self) {
+        let mut block = *self.blocks.get_mut();
+        while !block.is_null() {
+            let boxed = unsafe { Box::from_raw(block) };
+            for item in boxed.items.iter() {
+                // Items that were pushed but never taken still own a task.
+                if item.tag.load(Ordering::Relaxed) < MAX_POSITION {
+                    // SAFETY: live tag ⇒ payload initialized and not moved
+                    // out; we have exclusive access in drop.
+                    unsafe { (*item.payload.get()).assume_init_drop() };
+                }
+            }
+            block = boxed.next;
+        }
+    }
+}
+
+// SAFETY: all cross-thread access to `payload` follows the write-once /
+// take-once protocol documented on `Item`; every other field is atomic.
+unsafe impl<T: Send> Send for ItemPool<T> {}
+unsafe impl<T: Send> Sync for ItemPool<T> {}
+
+/// A reference to an item held in a place-local priority queue.
+///
+/// Mirrors the paper's `ItemRef`: the priority (copied out at creation so
+/// ordering needs no dereference), the expected position tag, and the item
+/// pointer. Ordered by `(prio, tag)` — the tag tiebreak makes local pop
+/// order deterministic.
+pub struct ItemRef<T> {
+    /// Priority key copied from the item at reference creation.
+    pub prio: u64,
+    /// Position tag the item carried when the reference was created.
+    pub tag: u64,
+    /// The referenced item (pool-owned; always safe to dereference).
+    pub ptr: *const Item<T>,
+}
+
+impl<T> Clone for ItemRef<T> {
+    fn clone(&self) -> Self {
+        ItemRef {
+            prio: self.prio,
+            tag: self.tag,
+            ptr: self.ptr,
+        }
+    }
+}
+
+impl<T> PartialEq for ItemRef<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.prio == other.prio && self.tag == other.tag
+    }
+}
+impl<T> Eq for ItemRef<T> {}
+impl<T> PartialOrd for ItemRef<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for ItemRef<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.prio, self.tag).cmp(&(other.prio, other.tag))
+    }
+}
+
+// SAFETY: an ItemRef is only dereferenced by its owning place handle, and
+// only into pool memory that outlives the handle (the handle holds an Arc of
+// the structure that owns the pool).
+unsafe impl<T: Send> Send for ItemRef<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn acquire_init_take_round_trip() {
+        let pool: ItemPool<String> = ItemPool::new();
+        let p = pool.acquire();
+        let item = unsafe { &*p };
+        unsafe { item.init(3, 8, 42, "hello".to_string()) };
+        item.tag.store(17, Ordering::Release);
+        assert!(item.is_live_at(17));
+        assert!(!item.is_live_at(16));
+        assert_eq!(item.prio.load(Ordering::Relaxed), 42);
+        assert_eq!(item.place.load(Ordering::Relaxed), 3);
+        assert_eq!(item.k.load(Ordering::Relaxed), 8);
+        assert_eq!(item.try_take(17), Some("hello".to_string()));
+        unsafe { pool.release(p) };
+    }
+
+    #[test]
+    fn second_take_fails() {
+        let pool: ItemPool<u32> = ItemPool::new();
+        let p = pool.acquire();
+        let item = unsafe { &*p };
+        unsafe { item.init(0, 1, 5, 99) };
+        item.tag.store(7, Ordering::Release);
+        assert_eq!(item.try_take(7), Some(99));
+        assert_eq!(item.try_take(7), None);
+        unsafe { pool.release(p) };
+    }
+
+    #[test]
+    fn wrong_tag_fails_and_leaves_item_live() {
+        let pool: ItemPool<u32> = ItemPool::new();
+        let p = pool.acquire();
+        let item = unsafe { &*p };
+        unsafe { item.init(0, 1, 5, 7) };
+        item.tag.store(100, Ordering::Release);
+        assert_eq!(item.try_take(99), None);
+        assert!(item.is_live_at(100));
+        assert_eq!(item.try_take(100), Some(7));
+        unsafe { pool.release(p) };
+    }
+
+    #[test]
+    fn recycled_item_rejects_stale_tag() {
+        let pool: ItemPool<u32> = ItemPool::new();
+        let p = pool.acquire();
+        let item = unsafe { &*p };
+        unsafe { item.init(0, 1, 5, 1) };
+        item.tag.store(10, Ordering::Release);
+        assert_eq!(item.try_take(10), Some(1));
+        unsafe { pool.release(p) };
+        // Recycle the same physical item under a new position (the pool's
+        // free list is FIFO, so acquire until we get `p` back).
+        let mut extras = Vec::new();
+        let q = loop {
+            let q = pool.acquire();
+            if q == p {
+                break q;
+            }
+            extras.push(q);
+        };
+        let item = unsafe { &*q };
+        unsafe { item.init(1, 1, 6, 2) };
+        item.tag.store(11, Ordering::Release);
+        // A stale reference still holding tag 10 must fail:
+        assert_eq!(item.try_take(10), None);
+        assert_eq!(item.try_take(11), Some(2));
+        unsafe { pool.release(q) };
+        for e in extras {
+            // Untouched FREE items can simply go back.
+            unsafe { &*e }.tag.store(TAG_TAKEN, Ordering::Relaxed);
+            unsafe { pool.release(e) };
+        }
+    }
+
+    #[test]
+    fn pool_grows_beyond_one_block() {
+        let pool: ItemPool<u64> = ItemPool::new();
+        let mut ptrs = Vec::new();
+        for i in 0..(BLOCK_LEN * 2 + 10) {
+            let p = pool.acquire();
+            let item = unsafe { &*p };
+            unsafe { item.init(0, 1, i as u64, i as u64) };
+            item.tag.store(i as u64, Ordering::Release);
+            ptrs.push(p);
+        }
+        assert!(pool.allocated() >= (BLOCK_LEN * 2) as u64);
+        // Take everything back so drop has no live payloads to reclaim.
+        for (i, p) in ptrs.iter().enumerate() {
+            let item = unsafe { &**p };
+            assert_eq!(item.try_take(i as u64), Some(i as u64));
+            unsafe { pool.release(*p) };
+        }
+    }
+
+    /// Payload type that counts drops, to verify pool-drop reclamation.
+    struct DropCounter(Arc<AtomicUsize>);
+    impl Drop for DropCounter {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn dropping_pool_drops_untaken_payloads_exactly_once() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let pool: ItemPool<DropCounter> = ItemPool::new();
+        // 3 live (never taken), 2 taken.
+        for i in 0..5u64 {
+            let p = pool.acquire();
+            let item = unsafe { &*p };
+            unsafe { item.init(0, 1, i, DropCounter(drops.clone())) };
+            item.tag.store(i, Ordering::Release);
+            if i >= 3 {
+                let taken = item.try_take(i).unwrap();
+                drop(taken);
+                unsafe { pool.release(p) };
+            }
+        }
+        assert_eq!(
+            drops.load(Ordering::Relaxed),
+            2,
+            "only taken payloads dropped so far"
+        );
+        drop(pool);
+        assert_eq!(
+            drops.load(Ordering::Relaxed),
+            5,
+            "pool drop reclaims live payloads"
+        );
+    }
+
+    #[test]
+    fn item_ref_orders_by_priority_then_tag() {
+        let a: ItemRef<u8> = ItemRef {
+            prio: 1,
+            tag: 9,
+            ptr: std::ptr::null(),
+        };
+        let b: ItemRef<u8> = ItemRef {
+            prio: 1,
+            tag: 10,
+            ptr: std::ptr::null(),
+        };
+        let c: ItemRef<u8> = ItemRef {
+            prio: 2,
+            tag: 0,
+            ptr: std::ptr::null(),
+        };
+        assert!(a < b);
+        assert!(b < c);
+    }
+
+    #[test]
+    fn concurrent_acquire_release_stress() {
+        let pool = Arc::new(ItemPool::<u64>::new());
+        let threads = 8;
+        let per = 5_000u64;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let pool = pool.clone();
+                s.spawn(move || {
+                    for i in 0..per {
+                        let p = pool.acquire();
+                        let item = unsafe { &*p };
+                        let tag = (t as u64) * per * 2 + i; // unique positions
+                        unsafe { item.init(t as u32, 1, i, i) };
+                        item.tag.store(tag, Ordering::Release);
+                        assert_eq!(item.try_take(tag), Some(i));
+                        unsafe { pool.release(p) };
+                    }
+                });
+            }
+        });
+        // Every item ended FREE; allocation stayed bounded by concurrency,
+        // far below the total number of operations.
+        assert!(pool.allocated() <= (threads as u64) * per);
+    }
+}

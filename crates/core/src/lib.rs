@@ -1,0 +1,108 @@
+#![warn(missing_docs)]
+
+//! Lock-free data structures for task-based priority scheduling.
+//!
+//! This crate is a from-scratch Rust implementation of the three scheduling
+//! data structures of *Wimmer, Cederman, Versaci, Träff, Tsigas: "Data
+//! Structures for Task-based Priority Scheduling"* (PPoPP 2014,
+//! arXiv:1312.2501), together with the task-scheduling runtime they plug
+//! into:
+//!
+//! * [`workstealing::PriorityWorkStealing`] — work-stealing with per-place
+//!   priority queues and steal-half (§3.1). Scalable, but provides **no
+//!   global ordering guarantee**.
+//! * [`centralized::CentralizedKPriority`] — a single global, ρ-relaxed
+//!   priority ordering (§3.2, §4.1): a pop may ignore at most the `k` newest
+//!   items (ρ = k).
+//! * [`hybrid::HybridKPriority`] — the paper's main recommendation (§3.3,
+//!   §4.2): local lists published to a global list every `k` pushes, with
+//!   read-only *spying* instead of stealing. A pop may ignore at most the
+//!   `k` newest items *of each place* (ρ = P·k).
+//!
+//! All three implement the [`pool::TaskPool`] interface used by the
+//! [`scheduler::Scheduler`] (places, help-first spawning, termination
+//! detection, finish regions — §2 of the paper).
+//!
+//! # Priorities
+//!
+//! Priorities are `u64` values, **smaller is higher priority**, matching the
+//! paper's SSSP convention ("priority, smaller is better", Listing 5).
+//! [`priority_from_f64`] maps non-negative floats (e.g. tentative distances)
+//! to order-preserving `u64` keys.
+//!
+//! # Relaxation semantics (§2.2)
+//!
+//! A pop is never required to return the globally best task, but the number
+//! of *newer* tasks that may be ignored in favour of an older, worse one is
+//! bounded: by `k` for the centralized structure and by `P·k` for the hybrid
+//! one. Work-stealing provides no such bound. The `k` parameter is supplied
+//! **per task**, so kernels with different ordering requirements can coexist
+//! (§1).
+//!
+//! # Memory reclamation
+//!
+//! The paper relies on a wait-free memory manager \[18\]. Here, task *items*
+//! live in a pool that recycles them through a lock-free free list and only
+//! releases memory when the data structure is dropped; position-derived tags
+//! make recycling ABA-safe exactly as in §4.1.3/§4.2.3. See DESIGN.md §4 for
+//! the substitution rationale.
+
+pub mod centralized;
+pub mod garray;
+pub mod hybrid;
+pub mod item;
+pub mod pareto;
+pub mod pool;
+pub mod scheduler;
+pub mod stats;
+pub mod structural;
+pub mod task;
+pub(crate) mod util;
+pub mod workstealing;
+
+pub use centralized::CentralizedKPriority;
+pub use hybrid::HybridKPriority;
+pub use pool::{PoolHandle, PoolKind, TaskPool};
+pub use scheduler::{RunStats, Scheduler, SpawnCtx, TaskExecutor};
+pub use structural::StructuralKPriority;
+pub use workstealing::PriorityWorkStealing;
+
+/// Maps a non-negative, non-NaN `f64` to a `u64` key with the same order.
+///
+/// For non-negative IEEE-754 doubles the raw bit pattern is already
+/// monotonically increasing, so the conversion is a transmute. `+∞` is
+/// allowed (it encodes "unreached" priorities).
+///
+/// # Panics
+/// Panics (debug builds) if `x` is negative.
+#[inline]
+pub fn priority_from_f64(x: f64) -> u64 {
+    debug_assert!(x >= 0.0, "priority_from_f64 requires non-negative input");
+    x.to_bits()
+}
+
+/// Inverse of [`priority_from_f64`].
+#[inline]
+pub fn priority_to_f64(bits: u64) -> f64 {
+    f64::from_bits(bits)
+}
+
+#[cfg(test)]
+mod conversion_tests {
+    use super::*;
+
+    #[test]
+    fn f64_priority_is_order_preserving() {
+        let xs = [0.0, 1e-300, 0.5, 1.0, 1.5, 42.0, 1e300, f64::INFINITY];
+        for w in xs.windows(2) {
+            assert!(priority_from_f64(w[0]) < priority_from_f64(w[1]));
+        }
+    }
+
+    #[test]
+    fn f64_priority_round_trips() {
+        for x in [0.0, 0.25, 3.5, 1e10, f64::INFINITY] {
+            assert_eq!(priority_to_f64(priority_from_f64(x)), x);
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! The scheduling-system ↔ data-structure interface.
+//!
+//! §2.1: "The scheduling system interacts with the data structure using two
+//! functions, push and pop. Both functions are executed in the context of a
+//! specific place, therefore giving access to the local component of the
+//! priority data structure for the given place."
+//!
+//! A [`TaskPool`] is the shared, global component; a [`PoolHandle`] is one
+//! place's view, combining access to the global component with exclusive
+//! ownership of the place-local component (local priority queue, cursors,
+//! RNG). Handles are created per worker thread and are `Send` but not
+//! `Sync` — the asymmetric access scheme of §2.1 realized through Rust
+//! ownership.
+
+use crate::stats::PlaceStats;
+use std::sync::Arc;
+
+/// Contract of every priority scheduling data structure in this crate.
+///
+/// Guarantees required by the scheduler (§2.1):
+/// * every pushed task is returned by exactly one successful `pop`;
+/// * `pop` may fail spuriously (return `None` while tasks exist) only in
+///   states where some other thread is making progress or where retrying
+///   can observe the missing tasks (the scheduler retries until the global
+///   pending-task count reaches zero);
+/// * the priority ordering of returned tasks is structure-specific — see
+///   each implementation for its ρ-relaxation bound.
+pub trait TaskPool<T: Send + 'static>: Send + Sync + 'static {
+    /// The place-local view.
+    type Handle: PoolHandle<T>;
+
+    /// Number of places this pool was configured for.
+    fn num_places(&self) -> usize;
+
+    /// Creates the handle for `place`.
+    ///
+    /// # Panics
+    /// Panics if `place >= num_places()` or if a live handle for this place
+    /// already exists (place-local components are single-owner).
+    fn handle(self: &Arc<Self>, place: usize) -> Self::Handle;
+}
+
+/// One place's view of a [`TaskPool`].
+pub trait PoolHandle<T: Send>: Send {
+    /// Stores a task for later execution (§2.1 `push`).
+    ///
+    /// `prio`: priority key, smaller = higher priority.
+    /// `k`: per-task relaxation bound (§2.2); how it is interpreted is
+    /// structure-specific (window size for centralized, publication budget
+    /// for hybrid, ignored by work-stealing).
+    fn push(&mut self, prio: u64, k: usize, task: T);
+
+    /// Retrieves some task and removes it from the pool (§2.1 `pop`).
+    ///
+    /// `None` means "nothing found right now" — possibly spuriously.
+    fn pop(&mut self) -> Option<T>;
+
+    /// Snapshot of this place's operation counters.
+    fn stats(&self) -> PlaceStats;
+}
+
+/// Runtime-selectable structure kind, used by the figure harness and
+/// examples to sweep over data structures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PoolKind {
+    /// §3.1 — per-place priority queues with steal-half; no global ordering.
+    WorkStealing,
+    /// §3.2/§4.1 — global array with ρ = k relaxation.
+    Centralized,
+    /// §3.3/§4.2 — local lists + global list + spying; ρ = P·k.
+    Hybrid,
+    /// §5.3 prototype — structural (non-temporal) ρ-relaxation.
+    Structural,
+}
+
+impl PoolKind {
+    /// All kinds evaluated in the paper's figures (the structural prototype
+    /// is an extension and not part of the paper's evaluation).
+    pub const PAPER: [PoolKind; 3] = [
+        PoolKind::WorkStealing,
+        PoolKind::Centralized,
+        PoolKind::Hybrid,
+    ];
+
+    /// Display label matching the paper's figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            PoolKind::WorkStealing => "Work-Stealing",
+            PoolKind::Centralized => "Centralized",
+            PoolKind::Hybrid => "Hybrid",
+            PoolKind::Structural => "Structural",
+        }
+    }
+}
+
+impl std::fmt::Display for PoolKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_legends() {
+        assert_eq!(PoolKind::WorkStealing.label(), "Work-Stealing");
+        assert_eq!(PoolKind::Centralized.label(), "Centralized");
+        assert_eq!(PoolKind::Hybrid.label(), "Hybrid");
+        assert_eq!(PoolKind::PAPER.len(), 3);
+    }
+}

@@ -1,0 +1,525 @@
+//! The task-scheduling runtime (§2).
+//!
+//! * **Places**: `P` worker threads, each owning the place-local component
+//!   of the chosen [`TaskPool`] through its [`PoolHandle`].
+//! * **Help-first spawning** (§2, citing Guo et al.): `spawn` *stores* the
+//!   new task for later execution by any thread and the current task
+//!   continues — the policy priority scheduling requires, since work-first's
+//!   fixed depth-first order cannot follow priorities.
+//! * **Termination**: "the scheduling system terminates when all tasks have
+//!   finished executing and no new tasks were created" — realized with a
+//!   global outstanding-task counter (incremented before push, decremented
+//!   after execution); workers whose pops fail spin with backoff until the
+//!   counter reaches zero.
+//! * **Dead-task elimination** (§5.1): tasks report deadness through
+//!   [`TaskExecutor::is_dead`]; dead tasks are dropped at pop time without
+//!   being executed, mirroring the lazy removal in the paper's structures.
+//!
+//! Finish regions (§2's blocking synchronization primitive) are provided by
+//! [`crate::task::FinishRegion`] together with [`SpawnCtx::help_while`]: a
+//! task waiting on a region keeps executing other tasks instead of blocking
+//! the worker, which is the natural help-first realization.
+
+use crate::pool::{PoolHandle, TaskPool};
+use crate::stats::PlaceStats;
+use crossbeam_utils::Backoff;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Application logic driven by the scheduler.
+///
+/// The executor is shared by all places (`Sync`) and owns the application
+/// state tasks operate on (e.g. the graph and the atomic distance array for
+/// SSSP).
+pub trait TaskExecutor<T: Send>: Sync {
+    /// Runs one task. New tasks are spawned through `ctx` (help-first: they
+    /// are stored for later execution, the current invocation continues).
+    fn execute(&self, task: T, ctx: &mut SpawnCtx<'_, T>);
+
+    /// Lazy dead-task elimination hook (§5.1): return `true` when the task
+    /// no longer needs to run (e.g. an SSSP node relaxation whose distance
+    /// value has since improved). Dead tasks are dropped at pop time.
+    fn is_dead(&self, _task: &T) -> bool {
+        false
+    }
+}
+
+/// Per-task spawn context handed to [`TaskExecutor::execute`].
+pub struct SpawnCtx<'a, T: Send> {
+    handle: &'a mut dyn PoolHandle<T>,
+    pending: &'a AtomicU64,
+    executor: &'a dyn TaskExecutor<T>,
+    /// Set when any worker's task panicked: all workers drain out and the
+    /// panic is re-raised from `run` (without this, a lost decrement would
+    /// leave `pending` nonzero and deadlock the remaining workers).
+    abort: &'a AtomicBool,
+    panic_payload: &'a parking_lot::Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    place: usize,
+    executed: u64,
+    dead: u64,
+}
+
+impl<'a, T: Send> SpawnCtx<'a, T> {
+    /// Spawns a task with priority `prio` (smaller = higher) and per-task
+    /// relaxation bound `k` (§2.2).
+    pub fn spawn(&mut self, prio: u64, k: usize, task: T) {
+        // Increment before push: a task must never be poppable while the
+        // counter could read zero.
+        self.pending.fetch_add(1, Ordering::AcqRel);
+        self.handle.push(prio, k, task);
+    }
+
+    /// The id of the place executing the current task.
+    pub fn place(&self) -> usize {
+        self.place
+    }
+
+    /// Number of tasks this place has executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Cooperative wait: keeps popping and executing tasks while `cond`
+    /// holds. The building block for blocking finish regions under
+    /// help-first scheduling — the waiting task helps drain the pool
+    /// instead of idling a worker.
+    pub fn help_while(&mut self, cond: &dyn Fn() -> bool) {
+        let backoff = Backoff::new();
+        while cond() && !self.abort.load(Ordering::Relaxed) {
+            match self.handle.pop() {
+                Some(task) => {
+                    self.run_one(task);
+                    backoff.reset();
+                }
+                None => {
+                    if self.pending.load(Ordering::Acquire) == 0 {
+                        return; // nothing left anywhere; cond can never flip
+                    }
+                    backoff.snooze();
+                }
+            }
+        }
+    }
+
+    fn run_one(&mut self, task: T) {
+        if self.executor.is_dead(&task) {
+            self.dead += 1;
+            self.pending.fetch_sub(1, Ordering::AcqRel);
+            return;
+        }
+        // Contain panics: decrement `pending` either way so sibling workers
+        // cannot spin forever on a count that will never drain, then flag
+        // the abort; `run` re-raises the payload after all workers exit.
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            self.executor.execute(task, self);
+        }));
+        self.pending.fetch_sub(1, Ordering::AcqRel);
+        match result {
+            Ok(()) => self.executed += 1,
+            Err(payload) => {
+                *self.panic_payload.lock() = Some(payload);
+                self.abort.store(true, Ordering::Release);
+            }
+        }
+    }
+}
+
+/// Aggregated outcome of one [`Scheduler::run`].
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Tasks executed (dead tasks excluded).
+    pub executed: u64,
+    /// Tasks popped but eliminated as dead (§5.1).
+    pub dead: u64,
+    /// Wall-clock time of the run (from first worker start to full drain).
+    pub elapsed: Duration,
+    /// Summed data-structure counters over all places.
+    pub pool: PlaceStats,
+    /// Per-place executed counts (load-balance diagnostics).
+    pub per_place_executed: Vec<u64>,
+}
+
+/// The scheduling system: `P` places over a shared [`TaskPool`].
+pub struct Scheduler<P> {
+    pool: Arc<P>,
+}
+
+impl<P> Scheduler<P> {
+    /// Wraps an already shared task pool; the pool's place count determines
+    /// the number of worker threads.
+    pub fn from_pool_arc(pool: Arc<P>) -> Self {
+        Scheduler { pool }
+    }
+
+    /// Creates a scheduler owning a fresh pool.
+    pub fn from_pool(pool: P) -> Self {
+        Self::from_pool_arc(Arc::new(pool))
+    }
+
+    /// Access to the underlying pool (for diagnostics).
+    pub fn pool(&self) -> &Arc<P> {
+        &self.pool
+    }
+}
+
+impl<Pool> Scheduler<Pool> {
+    /// Runs `roots` to completion and returns aggregated statistics.
+    ///
+    /// Worker 0 seeds the roots through its own handle (so every structure
+    /// sees a normal place-local push), then all places run the §2 loop:
+    /// pop → execute → repeat, until every task transitively spawned has
+    /// finished.
+    pub fn run<T, E>(&self, executor: &E, roots: Vec<(u64, usize, T)>) -> RunStats
+    where
+        T: Send + 'static,
+        E: TaskExecutor<T>,
+        Pool: TaskPool<T>,
+    {
+        let nplaces = self.pool.num_places();
+        let pending = AtomicU64::new(roots.len() as u64);
+        let abort = AtomicBool::new(false);
+        let panic_payload: parking_lot::Mutex<Option<Box<dyn std::any::Any + Send>>> =
+            parking_lot::Mutex::new(None);
+        let start = Instant::now();
+        let mut per_place: Vec<(u64, u64, PlaceStats)> = Vec::with_capacity(nplaces);
+
+        std::thread::scope(|s| {
+            let mut joins = Vec::with_capacity(nplaces);
+            let mut roots = Some(roots);
+            for place in 0..nplaces {
+                let pool = Arc::clone(&self.pool);
+                let pending = &pending;
+                let abort = &abort;
+                let panic_payload = &panic_payload;
+                let seed = if place == 0 { roots.take() } else { None };
+                joins.push(s.spawn(move || {
+                    let mut handle = pool.handle(place);
+                    if let Some(seed) = seed {
+                        for (prio, k, task) in seed {
+                            handle.push(prio, k, task);
+                        }
+                    }
+                    let mut ctx = SpawnCtx {
+                        handle: &mut handle,
+                        pending,
+                        executor,
+                        abort,
+                        panic_payload,
+                        place,
+                        executed: 0,
+                        dead: 0,
+                    };
+                    let backoff = Backoff::new();
+                    loop {
+                        if abort.load(Ordering::Acquire) {
+                            break;
+                        }
+                        match ctx.handle.pop() {
+                            Some(task) => {
+                                ctx.run_one(task);
+                                backoff.reset();
+                            }
+                            None => {
+                                if pending.load(Ordering::Acquire) == 0 {
+                                    break;
+                                }
+                                backoff.snooze();
+                            }
+                        }
+                    }
+                    let (executed, dead) = (ctx.executed, ctx.dead);
+                    (executed, dead, handle.stats())
+                }));
+            }
+            for j in joins {
+                per_place.push(j.join().expect("worker thread itself panicked"));
+            }
+        });
+
+        if let Some(payload) = panic_payload.lock().take() {
+            std::panic::resume_unwind(payload);
+        }
+        let elapsed = start.elapsed();
+        let mut stats = RunStats {
+            elapsed,
+            per_place_executed: per_place.iter().map(|(e, _, _)| *e).collect(),
+            ..RunStats::default()
+        };
+        for (executed, dead, pool_stats) in per_place {
+            stats.executed += executed;
+            stats.dead += dead;
+            stats.pool.merge(&pool_stats);
+        }
+        debug_assert_eq!(pending.load(Ordering::Acquire), 0);
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::centralized::CentralizedKPriority;
+    use crate::hybrid::HybridKPriority;
+    use crate::workstealing::PriorityWorkStealing;
+    use std::sync::atomic::AtomicU64 as Counter;
+
+    /// Counts executions; spawns `fanout` children per task until `depth`.
+    struct TreeSpawner {
+        executed: Counter,
+        fanout: u64,
+        depth: u64,
+    }
+
+    impl TaskExecutor<(u64, u64)> for TreeSpawner {
+        fn execute(&self, (depth, _id): (u64, u64), ctx: &mut SpawnCtx<'_, (u64, u64)>) {
+            self.executed.fetch_add(1, Ordering::Relaxed);
+            if depth < self.depth {
+                for i in 0..self.fanout {
+                    ctx.spawn(depth + 1, 64, (depth + 1, i));
+                }
+            }
+        }
+    }
+
+    fn tree_total(fanout: u64, depth: u64) -> u64 {
+        // 1 + f + f^2 + … + f^depth
+        (0..=depth).map(|d| fanout.pow(d as u32)).sum()
+    }
+
+    fn run_tree<P: TaskPool<(u64, u64)>>(pool: Arc<P>, places: usize) {
+        let exec = TreeSpawner {
+            executed: Counter::new(0),
+            fanout: 3,
+            depth: 7,
+        };
+        let sched = Scheduler::from_pool_arc(pool);
+        let stats = sched.run(&exec, vec![(0, 64, (0u64, 0u64))]);
+        let expect = tree_total(3, 7);
+        assert_eq!(stats.executed, expect, "places={places}");
+        assert_eq!(exec.executed.load(Ordering::Relaxed), expect);
+        assert_eq!(stats.dead, 0);
+        assert_eq!(stats.per_place_executed.iter().sum::<u64>(), expect);
+    }
+
+    #[test]
+    fn drains_task_tree_workstealing() {
+        for places in [1, 2, 4] {
+            run_tree(Arc::new(PriorityWorkStealing::new(places)), places);
+        }
+    }
+
+    #[test]
+    fn drains_task_tree_centralized() {
+        for places in [1, 2, 4] {
+            run_tree(
+                Arc::new(CentralizedKPriority::with_defaults(places)),
+                places,
+            );
+        }
+    }
+
+    #[test]
+    fn drains_task_tree_hybrid() {
+        for places in [1, 2, 4] {
+            run_tree(Arc::new(HybridKPriority::new(places)), places);
+        }
+    }
+
+    /// All tasks dead on arrival must be eliminated, not executed.
+    struct AllDead;
+    impl TaskExecutor<u64> for AllDead {
+        fn execute(&self, _t: u64, _ctx: &mut SpawnCtx<'_, u64>) {
+            panic!("dead task executed");
+        }
+        fn is_dead(&self, _t: &u64) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn dead_tasks_are_eliminated() {
+        let pool = Arc::new(PriorityWorkStealing::new(2));
+        let sched = Scheduler::from_pool_arc(pool);
+        let roots = (0..50u64).map(|i| (i, 0usize, i)).collect();
+        let stats = sched.run(&AllDead, roots);
+        assert_eq!(stats.executed, 0);
+        assert_eq!(stats.dead, 50);
+    }
+
+    /// Priority ordering sanity: with one place, tasks must execute in
+    /// strict priority order for every structure.
+    struct OrderRecorder {
+        order: parking_lot::Mutex<Vec<u64>>,
+    }
+    impl TaskExecutor<u64> for OrderRecorder {
+        fn execute(&self, t: u64, _ctx: &mut SpawnCtx<'_, u64>) {
+            self.order.lock().push(t);
+        }
+    }
+
+    #[test]
+    fn single_place_executes_in_priority_order() {
+        let prios = [5u64, 1, 9, 3, 3, 8, 0];
+        let run = |stats: &RunStats, order: Vec<u64>| {
+            let mut sorted = prios.to_vec();
+            sorted.sort();
+            assert_eq!(order, sorted);
+            assert_eq!(stats.executed, prios.len() as u64);
+        };
+        let roots: Vec<(u64, usize, u64)> = prios.iter().map(|&p| (p, 16, p)).collect();
+
+        let rec = OrderRecorder {
+            order: parking_lot::Mutex::new(Vec::new()),
+        };
+        let sched = Scheduler::from_pool_arc(Arc::new(CentralizedKPriority::with_defaults(1)));
+        let stats = sched.run(&rec, roots.clone());
+        run(&stats, std::mem::take(&mut *rec.order.lock()));
+
+        let rec = OrderRecorder {
+            order: parking_lot::Mutex::new(Vec::new()),
+        };
+        let sched = Scheduler::from_pool_arc(Arc::new(HybridKPriority::new(1)));
+        let stats = sched.run(&rec, roots.clone());
+        run(&stats, std::mem::take(&mut *rec.order.lock()));
+
+        let rec = OrderRecorder {
+            order: parking_lot::Mutex::new(Vec::new()),
+        };
+        let sched = Scheduler::from_pool_arc(Arc::new(PriorityWorkStealing::new(1)));
+        let stats = sched.run(&rec, roots);
+        run(&stats, std::mem::take(&mut *rec.order.lock()));
+    }
+
+    /// A panicking task must re-raise from `run` rather than deadlocking
+    /// sibling workers on a never-draining pending count.
+    struct PanicOn13;
+    impl TaskExecutor<u64> for PanicOn13 {
+        fn execute(&self, t: u64, _ctx: &mut SpawnCtx<'_, u64>) {
+            if t == 13 {
+                panic!("boom at 13");
+            }
+        }
+    }
+
+    #[test]
+    fn task_panic_propagates_without_deadlock() {
+        let sched = Scheduler::from_pool(PriorityWorkStealing::new(2));
+        let roots: Vec<(u64, usize, u64)> = (0..50u64).map(|i| (i, 0usize, i)).collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sched.run(&PanicOn13, roots)
+        }));
+        let err = result.expect_err("panic must propagate");
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("<non-str payload>");
+        assert!(msg.contains("boom at 13"), "got: {msg}");
+    }
+
+    #[test]
+    fn scheduler_is_reusable_across_runs() {
+        let sched = Scheduler::from_pool_arc(Arc::new(HybridKPriority::new(2)));
+        let exec = TreeSpawner {
+            executed: Counter::new(0),
+            fanout: 2,
+            depth: 5,
+        };
+        let a = sched.run(&exec, vec![(0, 8, (0u64, 0u64))]);
+        let b = sched.run(&exec, vec![(0, 8, (0u64, 0u64))]);
+        assert_eq!(a.executed, b.executed);
+        assert_eq!(exec.executed.load(Ordering::Relaxed), 2 * tree_total(2, 5));
+    }
+}
+
+impl std::fmt::Display for RunStats {
+    /// One-line summary: task counts, timing, and load balance.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let places = self.per_place_executed.len().max(1);
+        let max = self.per_place_executed.iter().copied().max().unwrap_or(0);
+        let balance = if max == 0 {
+            1.0
+        } else {
+            self.executed as f64 / (places as f64 * max as f64)
+        };
+        write!(
+            f,
+            "{} tasks ({} dead) on {} place(s) in {:.2?}; balance {:.2}; \
+             pushes {}, steals {}, spies {}, publishes {}",
+            self.executed,
+            self.dead,
+            places,
+            self.elapsed,
+            balance,
+            self.pool.pushes,
+            self.pool.steals,
+            self.pool.spies,
+            self.pool.publishes,
+        )
+    }
+}
+
+#[cfg(test)]
+mod display_tests {
+    use super::*;
+
+    #[test]
+    fn run_stats_display_mentions_key_fields() {
+        let stats = RunStats {
+            executed: 10,
+            dead: 2,
+            elapsed: Duration::from_millis(5),
+            pool: PlaceStats {
+                pushes: 12,
+                ..PlaceStats::default()
+            },
+            per_place_executed: vec![6, 4],
+        };
+        let s = stats.to_string();
+        assert!(s.contains("10 tasks"), "{s}");
+        assert!(s.contains("(2 dead)"), "{s}");
+        assert!(s.contains("pushes 12"), "{s}");
+    }
+}
+
+#[cfg(test)]
+mod edge_tests {
+    use super::*;
+    use crate::workstealing::PriorityWorkStealing;
+
+    struct Nop;
+    impl TaskExecutor<u64> for Nop {
+        fn execute(&self, _t: u64, _ctx: &mut SpawnCtx<'_, u64>) {}
+    }
+
+    #[test]
+    fn empty_roots_terminate_immediately() {
+        let sched = Scheduler::from_pool(PriorityWorkStealing::new(3));
+        let stats = sched.run(&Nop, Vec::<(u64, usize, u64)>::new());
+        assert_eq!(stats.executed, 0);
+        assert_eq!(stats.dead, 0);
+        assert_eq!(stats.per_place_executed, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn single_task_single_place() {
+        let sched = Scheduler::from_pool(PriorityWorkStealing::new(1));
+        let stats = sched.run(&Nop, vec![(5, 0, 42u64)]);
+        assert_eq!(stats.executed, 1);
+        assert_eq!(stats.pool.pushes, 1);
+        assert_eq!(stats.pool.pops, 1);
+    }
+
+    #[test]
+    fn many_roots_spread_over_places() {
+        let sched = Scheduler::from_pool(PriorityWorkStealing::new(4));
+        let roots: Vec<(u64, usize, u64)> = (0..200u64).map(|i| (i, 0usize, i)).collect();
+        let stats = sched.run(&Nop, roots);
+        assert_eq!(stats.executed, 200);
+        // All roots are seeded at place 0; with steal-half at least one
+        // other place usually participates, but single-place execution is
+        // legal — just verify accounting.
+        assert_eq!(stats.per_place_executed.iter().sum::<u64>(), 200);
+    }
+}

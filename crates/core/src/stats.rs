@@ -1,0 +1,72 @@
+//! Lightweight instrumentation counters.
+//!
+//! Every place handle keeps plain (non-atomic) counters on its hot path and
+//! folds them into a [`PlaceStats`] snapshot on request; the scheduler
+//! aggregates snapshots across places into the run statistics reported by
+//! the figure harness (nodes relaxed, dead tasks, steal/spy activity, …).
+
+/// Per-place operation counters.
+///
+/// All fields count events observed by one place (thread). Aggregate with
+/// [`PlaceStats::merge`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlaceStats {
+    /// Tasks pushed by this place.
+    pub pushes: u64,
+    /// Tasks successfully popped (and owned) by this place.
+    pub pops: u64,
+    /// `pop` calls that returned nothing.
+    pub failed_pops: u64,
+    /// Take attempts that lost the CAS/TAS race (dead references noticed).
+    pub stale_refs: u64,
+    /// Steal-half operations that obtained at least one task (work-stealing).
+    pub steals: u64,
+    /// Spy operations that found at least one reference (hybrid).
+    pub spies: u64,
+    /// Local lists published to the global list (hybrid).
+    pub publishes: u64,
+    /// Items taken through the random fallback probe (centralized).
+    pub probe_hits: u64,
+    /// Global-array/global-list entries ingested into the local queue.
+    pub ingested: u64,
+}
+
+impl PlaceStats {
+    /// Element-wise sum.
+    pub fn merge(&mut self, other: &PlaceStats) {
+        self.pushes += other.pushes;
+        self.pops += other.pops;
+        self.failed_pops += other.failed_pops;
+        self.stale_refs += other.stale_refs;
+        self.steals += other.steals;
+        self.spies += other.spies;
+        self.publishes += other.publishes;
+        self.probe_hits += other.probe_hits;
+        self.ingested += other.ingested;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = PlaceStats {
+            pushes: 1,
+            pops: 2,
+            failed_pops: 3,
+            stale_refs: 4,
+            steals: 5,
+            spies: 6,
+            publishes: 7,
+            probe_hits: 8,
+            ingested: 9,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.pushes, 2);
+        assert_eq!(a.pops, 4);
+        assert_eq!(a.ingested, 18);
+    }
+}

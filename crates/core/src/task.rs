@@ -1,0 +1,103 @@
+//! Task-model helpers: finish regions (§2).
+//!
+//! The paper's model is async-finish (as in X10): "A finish region is a
+//! blocking synchronization primitive, where execution can only continue
+//! after all tasks transitively spawned inside the finish region have been
+//! executed."
+//!
+//! A [`FinishRegion`] is a shared counter of outstanding tasks. Under
+//! help-first scheduling the "blocking" wait is cooperative: the waiting
+//! task calls [`crate::scheduler::SpawnCtx::help_while`] with
+//! [`FinishRegion::is_open`] as the condition, executing other tasks until
+//! the region drains. Tasks participate by carrying a [`RegionGuard`]
+//! (created with [`FinishRegion::register`]) that completes the task when
+//! dropped — including on panic, so regions cannot leak open.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A counter of tasks transitively spawned inside a finish region.
+#[derive(Clone, Debug, Default)]
+pub struct FinishRegion {
+    outstanding: Arc<AtomicU64>,
+}
+
+impl FinishRegion {
+    /// Creates an empty (closed) region.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers one task with the region; the task completes when the
+    /// returned guard drops.
+    pub fn register(&self) -> RegionGuard {
+        self.outstanding.fetch_add(1, Ordering::AcqRel);
+        RegionGuard {
+            outstanding: Arc::clone(&self.outstanding),
+        }
+    }
+
+    /// `true` while registered tasks are outstanding.
+    pub fn is_open(&self) -> bool {
+        self.outstanding.load(Ordering::Acquire) > 0
+    }
+
+    /// Number of outstanding tasks.
+    pub fn outstanding(&self) -> u64 {
+        self.outstanding.load(Ordering::Acquire)
+    }
+}
+
+/// Completion token for one task registered with a [`FinishRegion`].
+#[derive(Debug)]
+pub struct RegionGuard {
+    outstanding: Arc<AtomicU64>,
+}
+
+impl Drop for RegionGuard {
+    fn drop(&mut self) {
+        let prev = self.outstanding.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "finish region underflow");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_opens_and_closes() {
+        let region = FinishRegion::new();
+        assert!(!region.is_open());
+        let g1 = region.register();
+        let g2 = region.register();
+        assert!(region.is_open());
+        assert_eq!(region.outstanding(), 2);
+        drop(g1);
+        assert!(region.is_open());
+        drop(g2);
+        assert!(!region.is_open());
+    }
+
+    #[test]
+    fn clones_share_the_counter() {
+        let region = FinishRegion::new();
+        let alias = region.clone();
+        let g = region.register();
+        assert!(alias.is_open());
+        drop(g);
+        assert!(!alias.is_open());
+    }
+
+    #[test]
+    fn guard_completes_on_panic() {
+        let region = FinishRegion::new();
+        let g = region.register();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _moved = g;
+            panic!("task failed");
+        }));
+        assert!(result.is_err());
+        assert!(!region.is_open(), "guard must complete on unwind");
+    }
+}

@@ -1,0 +1,252 @@
+//! Property-based tests for the scheduling data structures.
+//!
+//! Strategy: drive each structure single-threadedly (which the
+//! place-handle design makes possible — handles are plain objects) through
+//! arbitrary interleavings of pushes and pops across two places, and check
+//! against a reference multiset:
+//!
+//! 1. **conservation** — every pop returns a previously pushed, not yet
+//!    popped task; at drain time nothing is lost or duplicated;
+//! 2. **ρ-relaxation (centralized)** — whenever a pop returns a task while
+//!    a strictly better one is live, the ignored task is among the last k
+//!    tasks pushed (§2.2: "a pop operation is allowed to ignore the last k
+//!    items added to the data structure");
+//! 3. **single-place strictness** — with one place, pops come out in exact
+//!    priority order for every structure.
+
+use priosched_core::{
+    CentralizedKPriority, HybridKPriority, PoolHandle, PriorityWorkStealing, StructuralKPriority,
+    TaskPool,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// Push with the given priority from place (index % 2).
+    Push { place: u8, prio: u16 },
+    /// Pop from place (index % 2).
+    Pop { place: u8 },
+}
+
+fn ops_strategy(max_len: usize) -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => (any::<u8>(), any::<u16>()).prop_map(|(place, prio)| Op::Push { place, prio }),
+            2 => any::<u8>().prop_map(|place| Op::Pop { place }),
+        ],
+        0..max_len,
+    )
+}
+
+/// A live entry: payload, global push sequence, pushing place, and the
+/// pushing place's local sequence at push time.
+#[derive(Clone, Copy, Debug)]
+struct LiveEntry {
+    payload: u64,
+    global_seq: u64,
+    place: usize,
+    local_seq: u64,
+}
+
+/// Reference multiset: priority -> live entries.
+#[derive(Default)]
+struct Model {
+    live: BTreeMap<u64, Vec<LiveEntry>>,
+    pushes: u64,
+    place_pushes: [u64; 2],
+}
+
+impl Model {
+    fn push(&mut self, prio: u64, payload: u64, place: usize) {
+        self.live.entry(prio).or_default().push(LiveEntry {
+            payload,
+            global_seq: self.pushes,
+            place,
+            local_seq: self.place_pushes[place],
+        });
+        self.pushes += 1;
+        self.place_pushes[place] += 1;
+    }
+
+    fn remove(&mut self, prio: u64, payload: u64) {
+        let entries = self.live.get_mut(&prio).expect("priority must be live");
+        let idx = entries
+            .iter()
+            .position(|e| e.payload == payload)
+            .expect("payload must be live");
+        entries.remove(idx);
+        if entries.is_empty() {
+            self.live.remove(&prio);
+        }
+    }
+
+    /// Live tasks with strictly better (smaller) priority.
+    fn better_than(&self, prio: u64) -> Vec<LiveEntry> {
+        self.live
+            .range(..prio)
+            .flat_map(|(_, v)| v.iter().copied())
+            .collect()
+    }
+}
+
+/// Which pushes count against an ignored task's relaxation budget.
+#[derive(Clone, Copy, Debug)]
+enum RelaxationScope {
+    /// Centralized: "the last k items added to the data structure" —
+    /// later pushes counted globally.
+    Global,
+    /// Hybrid: "the last k items added by each thread" — later pushes
+    /// counted per pushing place.
+    PerPlace,
+}
+
+/// Runs ops on a pool; checks conservation, and, when `relaxation_k` is
+/// given, the global temporal relaxation bound.
+fn run_model_check<P: TaskPool<u64>>(
+    pool: Arc<P>,
+    ops: &[Op],
+    push_k: usize,
+    relaxation: Option<(RelaxationScope, u64)>,
+) -> Result<(), TestCaseError> {
+    let mut handles = [pool.handle(0), pool.handle(1)];
+    let mut model = Model::default();
+    let mut next_payload = 0u64;
+    let mut prio_of: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+
+    for op in ops {
+        match *op {
+            Op::Push { place, prio } => {
+                let place = (place % 2) as usize;
+                let prio = prio as u64;
+                let payload = next_payload;
+                next_payload += 1;
+                handles[place].push(prio, push_k, payload);
+                prio_of.insert(payload, prio);
+                model.push(prio, payload, place);
+            }
+            Op::Pop { place } => {
+                let place = (place % 2) as usize;
+                if let Some(payload) = handles[place].pop() {
+                    let prio = *prio_of.get(&payload).expect("popped task was never pushed");
+                    let better = model.better_than(prio);
+                    model.remove(prio, payload);
+                    if let Some((scope, k)) = relaxation {
+                        for b in better {
+                            // Pushes after the ignored task, in the scope
+                            // the structure's guarantee speaks about.
+                            let after = match scope {
+                                RelaxationScope::Global => model.pushes - 1 - b.global_seq,
+                                RelaxationScope::PerPlace => {
+                                    model.place_pushes[b.place] - 1 - b.local_seq
+                                }
+                            };
+                            prop_assert!(
+                                after <= k,
+                                "pop ignored task {} with {after} later pushes \
+                                 ({scope:?} scope, allowed: {k})",
+                                b.payload
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Drain everything: conservation.
+    let live_count: usize = model.live.values().map(|v| v.len()).sum();
+    let mut drained = 0usize;
+    let mut misses = 0;
+    while misses < 20_000 && drained < live_count {
+        let mut any = false;
+        for h in handles.iter_mut() {
+            if let Some(payload) = h.pop() {
+                prop_assert!(prio_of.contains_key(&payload), "unknown payload");
+                drained += 1;
+                any = true;
+            }
+        }
+        if !any {
+            misses += 1;
+        }
+    }
+    prop_assert_eq!(drained, live_count, "tasks lost or duplicated at drain");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn workstealing_conserves_tasks(ops in ops_strategy(150)) {
+        run_model_check(Arc::new(PriorityWorkStealing::new(2)), &ops, 4, None)?;
+    }
+
+    #[test]
+    fn centralized_conserves_tasks(ops in ops_strategy(150)) {
+        run_model_check(Arc::new(CentralizedKPriority::new(2, 16)), &ops, 4, None)?;
+    }
+
+    #[test]
+    fn hybrid_conserves_tasks(ops in ops_strategy(150)) {
+        run_model_check(Arc::new(HybridKPriority::new(2)), &ops, 4, None)?;
+    }
+
+    #[test]
+    fn structural_conserves_tasks(ops in ops_strategy(150)) {
+        run_model_check(Arc::new(StructuralKPriority::new(2, 4)), &ops, 4, None)?;
+    }
+
+    /// §2.2's temporal bound for the centralized structure, with uniform
+    /// per-task k = 4: a pop never ignores a better task older than the
+    /// last 4 pushes *to the structure* (global scope).
+    #[test]
+    fn centralized_relaxation_oracle(ops in ops_strategy(200)) {
+        run_model_check(
+            Arc::new(CentralizedKPriority::new(2, 16)),
+            &ops,
+            4,
+            Some((RelaxationScope::Global, 4)),
+        )?;
+    }
+
+    /// Hybrid: "pop operations … are allowed to ignore the last k items
+    /// added by each thread" (§2.2) — per-place scope, with uniform k = 4
+    /// (the publish budget admits at most k unpublished successors).
+    #[test]
+    fn hybrid_relaxation_oracle(ops in ops_strategy(200)) {
+        run_model_check(
+            Arc::new(HybridKPriority::new(2)),
+            &ops,
+            4,
+            Some((RelaxationScope::PerPlace, 4)),
+        )?;
+    }
+
+    /// Single place: strict priority order for every structure.
+    #[test]
+    fn single_place_strict_order(prios in proptest::collection::vec(any::<u16>(), 0..100)) {
+        fn check<P: TaskPool<u64>>(pool: Arc<P>, prios: &[u16]) -> Result<(), TestCaseError> {
+            let mut h = pool.handle(0);
+            for (i, &p) in prios.iter().enumerate() {
+                // payload encodes (prio, index) so equal priorities are
+                // distinguishable; pop order must be sorted by prio.
+                h.push(p as u64, 4, ((p as u64) << 32) | i as u64);
+            }
+            let mut out = Vec::new();
+            while let Some(x) = h.pop() {
+                out.push(x >> 32);
+            }
+            let mut expect: Vec<u64> = prios.iter().map(|&p| p as u64).collect();
+            expect.sort();
+            prop_assert_eq!(out, expect);
+            Ok(())
+        }
+        check(Arc::new(PriorityWorkStealing::new(1)), &prios)?;
+        check(Arc::new(CentralizedKPriority::new(1, 32)), &prios)?;
+        check(Arc::new(HybridKPriority::new(1)), &prios)?;
+        check(Arc::new(StructuralKPriority::new(1, 8)), &prios)?;
+    }
+}

@@ -1,0 +1,246 @@
+//! Compressed-sparse-row storage for undirected weighted graphs.
+
+/// A single directed adjacency entry (one direction of an undirected edge).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Edge {
+    /// Target node id.
+    pub target: u32,
+    /// Edge weight; the evaluation draws these uniformly from `(0, 1]`.
+    pub weight: f32,
+}
+
+/// An undirected weighted graph in CSR form.
+///
+/// Node ids are dense `0..n`. Each undirected edge `{u, v}` appears once in
+/// `u`'s list and once in `v`'s list with the same weight.
+#[derive(Clone, Debug)]
+pub struct CsrGraph {
+    offsets: Vec<usize>,
+    edges: Vec<Edge>,
+}
+
+impl CsrGraph {
+    /// Builds a graph from an undirected edge list.
+    ///
+    /// Each `(u, v, w)` triple is inserted into both adjacency lists.
+    /// Self-loops are rejected (the ER model never produces them and SSSP
+    /// gains nothing from them); duplicate pairs are kept as parallel edges.
+    ///
+    /// # Panics
+    /// Panics if any endpoint is `>= n` or if a self-loop is supplied.
+    pub fn from_undirected_edges(n: usize, edge_list: &[(u32, u32, f32)]) -> Self {
+        let mut degree = vec![0usize; n];
+        for &(u, v, _) in edge_list {
+            assert!(
+                (u as usize) < n && (v as usize) < n,
+                "endpoint out of range"
+            );
+            assert_ne!(u, v, "self-loops are not supported");
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut edges = vec![
+            Edge {
+                target: 0,
+                weight: 0.0
+            };
+            acc
+        ];
+        for &(u, v, w) in edge_list {
+            edges[cursor[u as usize]] = Edge {
+                target: v,
+                weight: w,
+            };
+            cursor[u as usize] += 1;
+            edges[cursor[v as usize]] = Edge {
+                target: u,
+                weight: w,
+            };
+            cursor[v as usize] += 1;
+        }
+        CsrGraph { offsets, edges }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len() / 2
+    }
+
+    /// Degree of `node`.
+    #[inline]
+    pub fn degree(&self, node: u32) -> usize {
+        self.offsets[node as usize + 1] - self.offsets[node as usize]
+    }
+
+    /// Adjacency list of `node`.
+    #[inline]
+    pub fn neighbors(&self, node: u32) -> &[Edge] {
+        &self.edges[self.offsets[node as usize]..self.offsets[node as usize + 1]]
+    }
+
+    /// Iterates over every undirected edge once, as `(u, v, w)` with `u < v`.
+    pub fn undirected_edges(&self) -> impl Iterator<Item = (u32, u32, f32)> + '_ {
+        (0..self.num_nodes() as u32).flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .filter(move |e| e.target > u)
+                .map(move |e| (u, e.target, e.weight))
+        })
+    }
+
+    /// `true` when every node is reachable from node 0 (treating the graph as
+    /// undirected, which it is).
+    ///
+    /// The ER parameters in the paper (`p > (1+ε) ln n / n`) make the graphs
+    /// connected w.h.p.; tests assert this and the figure harness warns when
+    /// a sampled graph is disconnected.
+    pub fn is_connected(&self) -> bool {
+        let n = self.num_nodes();
+        if n == 0 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0u32];
+        seen[0] = true;
+        let mut count = 1usize;
+        while let Some(u) = stack.pop() {
+            for e in self.neighbors(u) {
+                let t = e.target as usize;
+                if !seen[t] {
+                    seen[t] = true;
+                    count += 1;
+                    stack.push(e.target);
+                }
+            }
+        }
+        count == n
+    }
+
+    /// Approximate resident size in bytes; used by the harness to report
+    /// workload scale.
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.edges.len() * std::mem::size_of::<Edge>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> CsrGraph {
+        CsrGraph::from_undirected_edges(3, &[(0, 1, 1.0), (1, 2, 2.0), (0, 2, 4.0)])
+    }
+
+    #[test]
+    fn node_and_edge_counts() {
+        let g = triangle();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn both_directions_present() {
+        let g = triangle();
+        assert!(g.neighbors(0).iter().any(|e| e.target == 1));
+        assert!(g.neighbors(1).iter().any(|e| e.target == 0));
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.degree(2), 2);
+    }
+
+    #[test]
+    fn weights_survive_round_trip() {
+        let g = triangle();
+        let w: f32 = g
+            .neighbors(0)
+            .iter()
+            .find(|e| e.target == 2)
+            .unwrap()
+            .weight;
+        assert_eq!(w, 4.0);
+    }
+
+    #[test]
+    fn undirected_edges_lists_each_edge_once() {
+        let g = triangle();
+        let mut edges: Vec<(u32, u32)> = g.undirected_edges().map(|(u, v, _)| (u, v)).collect();
+        edges.sort();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn isolated_node_allowed() {
+        let g = CsrGraph::from_undirected_edges(3, &[(0, 1, 1.0)]);
+        assert_eq!(g.degree(2), 0);
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn connectivity_detects_path() {
+        let g = CsrGraph::from_undirected_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        let g = CsrGraph::from_undirected_edges(0, &[]);
+        assert!(g.is_connected());
+        assert_eq!(g.num_nodes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_rejected() {
+        CsrGraph::from_undirected_edges(2, &[(1, 1, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        CsrGraph::from_undirected_edges(2, &[(0, 5, 1.0)]);
+    }
+
+    #[test]
+    fn parallel_edges_kept() {
+        let g = CsrGraph::from_undirected_edges(2, &[(0, 1, 1.0), (0, 1, 2.0)]);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.num_edges(), 2);
+    }
+}
+
+#[cfg(test)]
+mod stats_tests {
+    use super::*;
+
+    #[test]
+    fn memory_estimate_scales_with_edges() {
+        let small = CsrGraph::from_undirected_edges(4, &[(0, 1, 1.0)]);
+        let big_edges: Vec<(u32, u32, f32)> = (0..100).map(|i| (i, i + 1, 1.0)).collect();
+        let big = CsrGraph::from_undirected_edges(101, &big_edges);
+        assert!(big.memory_bytes() > small.memory_bytes());
+    }
+
+    #[test]
+    fn degree_sums_to_twice_edges() {
+        let edges: Vec<(u32, u32, f32)> = vec![(0, 1, 0.5), (1, 2, 0.5), (0, 2, 0.5), (2, 3, 0.5)];
+        let g = CsrGraph::from_undirected_edges(4, &edges);
+        let degree_sum: usize = (0..4).map(|v| g.degree(v)).sum();
+        assert_eq!(degree_sum, 2 * g.num_edges());
+    }
+}

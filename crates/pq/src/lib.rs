@@ -1,0 +1,121 @@
+#![warn(missing_docs)]
+
+//! Sequential priority queues used as place-local components.
+//!
+//! All three scheduling data structures of Wimmer et al. (PPoPP 2014) keep a
+//! *sequential* priority queue per place (thread): the paper notes in §4.1
+//! that "any sequential implementation of a priority queue can be used, since
+//! each priority queue is only accessed in the context of a single place".
+//!
+//! This crate provides two such implementations behind a common trait:
+//!
+//! * [`BinaryHeap`] — array-backed binary min-heap; the default everywhere.
+//! * [`PairingHeap`] — pointer-based pairing heap with two-pass melding;
+//!   useful as an independent implementation for differential testing and as
+//!   a better fit for workloads with heavy `meld`/bulk insertion.
+//!
+//! Both are **min**-queues: `pop` returns the smallest element, matching the
+//! paper's convention for the SSSP evaluation ("priority, smaller is
+//! better" in Listing 5).
+//!
+//! Beyond the textbook operations, the trait carries two operations the
+//! scheduler needs:
+//!
+//! * [`SequentialPriorityQueue::split_half`] — remove roughly half of the
+//!   elements (an arbitrary half, *not* the best half) and return them as a
+//!   new queue. This implements the steal-half policy of the priority
+//!   work-stealing structure (§3.1, citing Hendler & Shavit).
+//! * [`SequentialPriorityQueue::retain`] — drop entries that no longer need
+//!   to be scheduled. This backs the lazy dead-task elimination described in
+//!   §5.1.
+
+pub mod binary_heap;
+pub mod dary_heap;
+pub mod pairing_heap;
+
+pub use binary_heap::BinaryHeap;
+pub use dary_heap::{DaryHeap, QuaternaryHeap};
+pub use pairing_heap::PairingHeap;
+
+/// A sequential min-priority queue.
+///
+/// Implementations are not thread-safe by design: the scheduler guarantees
+/// single-threaded access per place (or wraps the queue in a lock for the
+/// work-stealing structure).
+pub trait SequentialPriorityQueue<T: Ord>: Default {
+    /// Creates an empty queue.
+    fn new() -> Self;
+
+    /// Inserts an element.
+    fn push(&mut self, item: T);
+
+    /// Removes and returns the smallest element, or `None` when empty.
+    fn pop(&mut self) -> Option<T>;
+
+    /// Returns a reference to the smallest element without removing it.
+    fn peek(&self) -> Option<&T>;
+
+    /// Number of stored elements.
+    fn len(&self) -> usize;
+
+    /// `true` when no elements are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes all elements.
+    fn clear(&mut self);
+
+    /// Removes roughly half of the elements (⌈len/2⌉ of them, an arbitrary
+    /// half by priority) and returns them as a new queue of the same type.
+    ///
+    /// Used by the work-stealing structure: "it chooses a random place and
+    /// steals half the tasks from that place's priority queue" (§3.1).
+    fn split_half(&mut self) -> Self;
+
+    /// Keeps only the elements for which `keep` returns `true`.
+    ///
+    /// Backs lazy dead-task elimination (§5.1): entries whose task has become
+    /// irrelevant (e.g. an SSSP node whose tentative distance has improved
+    /// since the entry was created) can be swept without popping them.
+    fn retain<F: FnMut(&T) -> bool>(&mut self, keep: F);
+
+    /// Moves all elements of `other` into `self`, leaving `other` empty.
+    fn append(&mut self, other: &mut Self);
+
+    /// Drains the queue in an arbitrary order into a vector.
+    ///
+    /// Primarily for tests and for rebuilding after bulk operations; callers
+    /// that need sorted output should `pop` repeatedly instead.
+    fn drain_unordered(&mut self) -> Vec<T>;
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+
+    fn exercise<Q: SequentialPriorityQueue<i64>>() {
+        let mut q = Q::new();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        q.push(5);
+        q.push(1);
+        q.push(3);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.peek(), Some(&1));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), Some(5));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn binary_heap_basics() {
+        exercise::<BinaryHeap<i64>>();
+    }
+
+    #[test]
+    fn pairing_heap_basics() {
+        exercise::<PairingHeap<i64>>();
+    }
+}

@@ -1,0 +1,204 @@
+//! Property-based tests for the sequential priority queues.
+//!
+//! Both implementations are model-checked against `std::collections::BinaryHeap`
+//! (wrapped as a min-heap) over arbitrary operation sequences, and the
+//! scheduler-facing extras (`split_half`, `retain`, `append`) are checked for
+//! multiset preservation and invariant maintenance.
+
+use priosched_pq::{BinaryHeap, PairingHeap, SequentialPriorityQueue};
+use proptest::prelude::*;
+use std::cmp::Reverse;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Push(i32),
+    Pop,
+    SplitHalf,
+    RetainEven,
+    AppendBatch(Vec<i32>),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => any::<i32>().prop_map(Op::Push),
+        3 => Just(Op::Pop),
+        1 => Just(Op::SplitHalf),
+        1 => Just(Op::RetainEven),
+        1 => proptest::collection::vec(any::<i32>(), 0..8).prop_map(Op::AppendBatch),
+    ]
+}
+
+/// Reference model: a sorted multiset via std's max-heap of Reverse.
+#[derive(Default)]
+struct Model {
+    heap: std::collections::BinaryHeap<Reverse<i32>>,
+}
+
+impl Model {
+    fn push(&mut self, x: i32) {
+        self.heap.push(Reverse(x));
+    }
+    fn pop(&mut self) -> Option<i32> {
+        self.heap.pop().map(|r| r.0)
+    }
+    fn sorted(&self) -> Vec<i32> {
+        let mut v: Vec<i32> = self.heap.iter().map(|r| r.0).collect();
+        v.sort();
+        v
+    }
+}
+
+fn run_ops<Q: SequentialPriorityQueue<i32>>(ops: &[Op]) {
+    let mut q = Q::new();
+    let mut model = Model::default();
+    for op in ops {
+        match op {
+            Op::Push(x) => {
+                q.push(*x);
+                model.push(*x);
+            }
+            Op::Pop => {
+                assert_eq!(q.pop(), model.pop());
+            }
+            Op::SplitHalf => {
+                let mut stolen = q.split_half();
+                // Steal-half is a structural operation with no model analog;
+                // check the size contract and put everything back.
+                let total = q.len() + stolen.len();
+                assert_eq!(total, model.heap.len());
+                assert!(stolen.len() >= q.len());
+                assert!(stolen.len() - q.len() <= 1);
+                q.append(&mut stolen);
+                assert!(stolen.is_empty());
+            }
+            Op::RetainEven => {
+                q.retain(|x| x % 2 == 0);
+                let kept: Vec<i32> = model.sorted().into_iter().filter(|x| x % 2 == 0).collect();
+                model.heap = kept.iter().map(|&x| Reverse(x)).collect();
+            }
+            Op::AppendBatch(batch) => {
+                let mut other = Q::new();
+                for &x in batch {
+                    other.push(x);
+                    model.push(x);
+                }
+                q.append(&mut other);
+            }
+        }
+        assert_eq!(q.len(), model.heap.len());
+        assert_eq!(q.peek().copied(), model.sorted().first().copied());
+    }
+    // Drain both and compare the full pop order.
+    let mut q_out = Vec::new();
+    while let Some(x) = q.pop() {
+        q_out.push(x);
+    }
+    let mut m_out = Vec::new();
+    while let Some(x) = model.pop() {
+        m_out.push(x);
+    }
+    assert_eq!(q_out, m_out);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn binary_heap_matches_model(ops in proptest::collection::vec(op_strategy(), 0..120)) {
+        run_ops::<BinaryHeap<i32>>(&ops);
+    }
+
+    #[test]
+    fn pairing_heap_matches_model(ops in proptest::collection::vec(op_strategy(), 0..120)) {
+        run_ops::<PairingHeap<i32>>(&ops);
+    }
+
+    #[test]
+    fn binary_heap_invariant_holds(items in proptest::collection::vec(any::<i32>(), 0..200)) {
+        let mut h = BinaryHeap::new();
+        for x in &items {
+            h.push(*x);
+            prop_assert!(h.is_valid_heap());
+        }
+        let mut prev = None;
+        while let Some(x) = h.pop() {
+            if let Some(p) = prev {
+                prop_assert!(p <= x);
+            }
+            prev = Some(x);
+            prop_assert!(h.is_valid_heap());
+        }
+    }
+
+    #[test]
+    fn split_half_preserves_multiset(items in proptest::collection::vec(any::<i32>(), 0..200)) {
+        let mut h: BinaryHeap<i32> = items.iter().copied().collect();
+        let mut stolen = h.split_half();
+        let mut all = h.drain_unordered();
+        all.extend(stolen.drain_unordered());
+        all.sort();
+        let mut expect = items.clone();
+        expect.sort();
+        prop_assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn pairing_split_half_preserves_multiset(items in proptest::collection::vec(any::<i32>(), 0..200)) {
+        let mut h: PairingHeap<i32> = items.iter().copied().collect();
+        let mut stolen = h.split_half();
+        let mut all = h.drain_unordered();
+        all.extend(stolen.drain_unordered());
+        all.sort();
+        let mut expect = items.clone();
+        expect.sort();
+        prop_assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn heaps_agree_with_each_other(items in proptest::collection::vec(any::<i32>(), 0..200)) {
+        let mut a: BinaryHeap<i32> = items.iter().copied().collect();
+        let mut b: PairingHeap<i32> = items.iter().copied().collect();
+        loop {
+            let (x, y) = (a.pop(), b.pop());
+            prop_assert_eq!(x, y);
+            if x.is_none() {
+                break;
+            }
+        }
+    }
+}
+
+mod dary {
+    use super::*;
+    use priosched_pq::DaryHeap;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn dary4_matches_model(ops in proptest::collection::vec(super::op_strategy(), 0..120)) {
+            run_ops::<DaryHeap<i32, 4>>(&ops);
+        }
+
+        #[test]
+        fn dary8_matches_model(ops in proptest::collection::vec(super::op_strategy(), 0..120)) {
+            run_ops::<DaryHeap<i32, 8>>(&ops);
+        }
+
+        #[test]
+        fn dary_invariant_holds(items in proptest::collection::vec(any::<i32>(), 0..200)) {
+            let mut h: DaryHeap<i32, 4> = DaryHeap::new();
+            for x in &items {
+                h.push(*x);
+                prop_assert!(h.is_valid_heap());
+            }
+            let mut prev = None;
+            while let Some(x) = h.pop() {
+                if let Some(p) = prev {
+                    prop_assert!(p <= x);
+                }
+                prev = Some(x);
+            }
+        }
+    }
+}

@@ -1,0 +1,459 @@
+//! The phase-wise SSSP simulator (§5.4).
+//!
+//! Model recap (§5.2.1 + §5.4): the system operates on a global pool of
+//! active nodes ordered by tentative distance. Execution proceeds in phases;
+//! in each phase up to `P` of the *visible* active nodes with the lowest
+//! tentative distances are relaxed simultaneously (updates apply at phase
+//! end). ρ-relaxation is modeled temporally: the ρ most recently created
+//! active nodes are held out of the sorted array — they "might be ignored" —
+//! with one exception: the node with the globally lowest tentative distance
+//! is always visible ("this node is guaranteed to be relaxed in the next
+//! phase"). Newly created nodes within a phase are shuffled before receiving
+//! sequence ids, and ties on the minimum are broken deterministically.
+
+use priosched_graph::{dijkstra, CsrGraph};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Simulation parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Places — how many nodes are relaxed per phase.
+    pub p: usize,
+    /// ρ-relaxation: how many of the newest active nodes are invisible.
+    /// `0` models the ideal priority data structure.
+    pub rho: usize,
+    /// Seed for the shuffle that randomizes sequence-id assignment.
+    pub seed: u64,
+}
+
+/// Per-phase measurements — one row of Figure 3's panels.
+#[derive(Clone, Debug)]
+pub struct PhaseRecord {
+    /// Nodes relaxed this phase (≤ P).
+    pub relaxed: usize,
+    /// Relaxed nodes whose tentative distance was already final.
+    pub settled: usize,
+    /// `h*_t`: difference between the largest and smallest tentative
+    /// distance among relaxed nodes (0 when fewer than 2 were relaxed).
+    pub h_star: f64,
+    /// Smallest tentative distance relaxed this phase.
+    pub min_dist: f64,
+    /// Largest tentative distance relaxed this phase.
+    pub max_dist: f64,
+    /// Sorted tentative distances of the relaxed nodes — the `d_t(j)` values
+    /// Theorem 5's exact pairwise bound needs (total memory is one f64 per
+    /// relaxation, so recording is always on).
+    pub dists: Vec<f64>,
+}
+
+/// Outcome of a simulation run.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// Phase-by-phase records.
+    pub phases: Vec<PhaseRecord>,
+    /// Final tentative distances (must equal Dijkstra's).
+    pub dist: Vec<f64>,
+    /// Total node relaxations over all phases.
+    pub total_relaxed: usize,
+    /// Total relaxations of non-settled nodes (useless work, §5.2.2).
+    pub total_useless: usize,
+}
+
+/// Runs the phase simulator for SSSP from `source`.
+///
+/// # Panics
+/// Panics if `cfg.p == 0` or `source` is out of range.
+pub fn simulate_sssp(graph: &CsrGraph, source: u32, cfg: &SimConfig) -> SimResult {
+    assert!(cfg.p > 0, "need at least one place");
+    let n = graph.num_nodes();
+    assert!((source as usize) < n, "source out of range");
+    // Ground truth for settled-ness.
+    let final_dist = dijkstra(graph, source).dist;
+
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let mut dist = vec![f64::INFINITY; n];
+    let mut seq = vec![0u64; n];
+    let mut active = vec![false; n];
+    let mut active_list: Vec<u32> = Vec::new();
+    let mut next_seq = 1u64;
+
+    dist[source as usize] = 0.0;
+    active[source as usize] = true;
+    seq[source as usize] = next_seq;
+    next_seq += 1;
+    active_list.push(source);
+
+    let mut phases = Vec::new();
+    let mut total_relaxed = 0usize;
+    let mut total_useless = 0usize;
+
+    while !active_list.is_empty() {
+        // --- Select the relaxation set Φ_t -------------------------------
+        // Deterministic global minimum (ties by node id).
+        let &min_node = active_list
+            .iter()
+            .min_by(|&&a, &&b| {
+                dist[a as usize]
+                    .partial_cmp(&dist[b as usize])
+                    .expect("distances are never NaN")
+                    .then(a.cmp(&b))
+            })
+            .expect("non-empty active list");
+
+        // Hold out the ρ newest by sequence id (except the minimum).
+        let (mut visible, holdout): (Vec<u32>, Vec<u32>) = if cfg.rho == 0 {
+            (active_list.clone(), Vec::new())
+        } else {
+            let mut by_seq = active_list.clone();
+            by_seq.sort_unstable_by_key(|&v| seq[v as usize]);
+            let cut = by_seq.len().saturating_sub(cfg.rho);
+            let mut vis: Vec<u32> = by_seq[..cut].to_vec();
+            let mut hold: Vec<u32> = by_seq[cut..].to_vec();
+            if let Some(idx) = hold.iter().position(|&v| v == min_node) {
+                hold.swap_remove(idx);
+                vis.push(min_node);
+            }
+            (vis, hold)
+        };
+
+        // The P visible nodes with lowest tentative distance …
+        visible.sort_unstable_by(|&a, &b| {
+            dist[a as usize]
+                .partial_cmp(&dist[b as usize])
+                .expect("no NaN")
+                .then(a.cmp(&b))
+        });
+        visible.truncate(cfg.p);
+        // … topped up with a random selection of held-out nodes when fewer
+        // than P are visible ("a random selection of all other active nodes
+        // is relaxed by the other places", §5.4).
+        if visible.len() < cfg.p && !holdout.is_empty() {
+            let need = cfg.p - visible.len();
+            let mut pool: Vec<u32> = holdout;
+            pool.shuffle(&mut rng);
+            visible.extend(pool.into_iter().take(need));
+        }
+        let phi = visible;
+
+        // --- Measure the phase -------------------------------------------
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        let mut settled = 0usize;
+        let mut phase_dists = Vec::with_capacity(phi.len());
+        for &v in &phi {
+            let d = dist[v as usize];
+            lo = lo.min(d);
+            hi = hi.max(d);
+            phase_dists.push(d);
+            if d == final_dist[v as usize] {
+                settled += 1;
+            }
+        }
+        phase_dists.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        total_relaxed += phi.len();
+        total_useless += phi.len() - settled;
+        phases.push(PhaseRecord {
+            relaxed: phi.len(),
+            settled,
+            h_star: if phi.len() >= 2 { hi - lo } else { 0.0 },
+            min_dist: lo,
+            max_dist: hi,
+            dists: phase_dists,
+        });
+
+        // --- Apply relaxations simultaneously ----------------------------
+        // δ_{t+1}(w) = min(δ_t(w), min_{v∈Φ} δ_t(v) + λ(v,w)).
+        let mut updates: Vec<(u32, f64)> = Vec::new();
+        for &v in &phi {
+            let d = dist[v as usize];
+            for e in graph.neighbors(v) {
+                let nd = d + e.weight as f64;
+                if nd < dist[e.target as usize] {
+                    updates.push((e.target, nd));
+                }
+            }
+        }
+        // Relaxed nodes that were not updated become inactive.
+        for &v in &phi {
+            active[v as usize] = false;
+        }
+        // Apply updates keeping minima (duplicates possible across Φ).
+        let mut touched: Vec<u32> = Vec::new();
+        for (w, nd) in updates {
+            if nd < dist[w as usize] {
+                dist[w as usize] = nd;
+                touched.push(w);
+            }
+        }
+        // Newly activated nodes get shuffled sequence ids (§5.4).
+        touched.sort_unstable();
+        touched.dedup();
+        touched.shuffle(&mut rng);
+        for w in touched {
+            active[w as usize] = true;
+            seq[w as usize] = next_seq;
+            next_seq += 1;
+        }
+        active_list = (0..n as u32).filter(|&v| active[v as usize]).collect();
+    }
+
+    SimResult {
+        phases,
+        dist,
+        total_relaxed,
+        total_useless,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use priosched_graph::{erdos_renyi, ErdosRenyiConfig};
+
+    fn graph(n: usize, p: f64, seed: u64) -> CsrGraph {
+        erdos_renyi(&ErdosRenyiConfig { n, p, seed })
+    }
+
+    #[test]
+    fn p1_rho0_is_exactly_dijkstra() {
+        let g = graph(200, 0.05, 1);
+        let res = simulate_sssp(
+            &g,
+            0,
+            &SimConfig {
+                p: 1,
+                rho: 0,
+                seed: 9,
+            },
+        );
+        let exact = dijkstra(&g, 0);
+        assert_eq!(res.dist, exact.dist);
+        // One settled node per phase, zero useless work.
+        assert_eq!(res.total_useless, 0);
+        assert_eq!(res.total_relaxed, exact.relaxations);
+        assert!(res
+            .phases
+            .iter()
+            .all(|ph| ph.relaxed == 1 && ph.settled == 1));
+    }
+
+    #[test]
+    fn distances_correct_for_any_p_and_rho() {
+        let g = graph(150, 0.08, 2);
+        let exact = dijkstra(&g, 0).dist;
+        for (p, rho) in [(4, 0), (8, 16), (80, 128), (16, 1000)] {
+            let res = simulate_sssp(&g, 0, &SimConfig { p, rho, seed: 4 });
+            assert_eq!(res.dist, exact, "p={p} rho={rho}");
+        }
+    }
+
+    #[test]
+    fn useless_work_nonzero_for_large_p_on_line_graph() {
+        // A long path forces premature relaxation when P > 1: distant nodes
+        // relaxed early must be re-relaxed.
+        let n = 64;
+        let edges: Vec<(u32, u32, f32)> = (0..n - 1)
+            .map(|i| (i as u32, (i + 1) as u32, 1.0))
+            .collect();
+        // Add shortcuts that make early tentative distances wrong.
+        let mut all = edges;
+        all.push((0, 32, 40.0));
+        let g = CsrGraph::from_undirected_edges(n, &all);
+        let res = simulate_sssp(
+            &g,
+            0,
+            &SimConfig {
+                p: 8,
+                rho: 0,
+                seed: 3,
+            },
+        );
+        assert!(res.total_useless > 0, "shortcut must cause useless work");
+        assert_eq!(res.dist, dijkstra(&g, 0).dist);
+    }
+
+    #[test]
+    fn phases_relax_at_most_p_nodes() {
+        let g = graph(120, 0.1, 5);
+        let res = simulate_sssp(
+            &g,
+            0,
+            &SimConfig {
+                p: 7,
+                rho: 32,
+                seed: 1,
+            },
+        );
+        assert!(res.phases.iter().all(|ph| ph.relaxed <= 7));
+        assert_eq!(
+            res.total_relaxed,
+            res.phases.iter().map(|ph| ph.relaxed).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn h_star_is_nonnegative_and_zero_for_single_relaxation() {
+        let g = graph(100, 0.1, 6);
+        let res = simulate_sssp(
+            &g,
+            0,
+            &SimConfig {
+                p: 5,
+                rho: 8,
+                seed: 2,
+            },
+        );
+        for ph in &res.phases {
+            assert!(ph.h_star >= 0.0);
+            if ph.relaxed < 2 {
+                assert_eq!(ph.h_star, 0.0);
+            }
+        }
+        // First phase relaxes only the source.
+        assert_eq!(res.phases[0].relaxed, 1);
+        assert_eq!(res.phases[0].settled, 1);
+    }
+
+    #[test]
+    fn rho_increases_useless_work_on_average() {
+        // Aggregate over several seeds to smooth randomness: higher ρ hides
+        // good nodes, forcing more premature relaxations.
+        let g = graph(300, 0.05, 7);
+        let total = |rho: usize| -> usize {
+            (0..5)
+                .map(|s| {
+                    simulate_sssp(
+                        &g,
+                        0,
+                        &SimConfig {
+                            p: 16,
+                            rho,
+                            seed: s,
+                        },
+                    )
+                    .total_useless
+                })
+                .sum()
+        };
+        let low = total(0);
+        let high = total(256);
+        assert!(
+            high >= low,
+            "rho=256 useless {high} should be >= rho=0 useless {low}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = graph(100, 0.1, 8);
+        let a = simulate_sssp(
+            &g,
+            0,
+            &SimConfig {
+                p: 6,
+                rho: 12,
+                seed: 5,
+            },
+        );
+        let b = simulate_sssp(
+            &g,
+            0,
+            &SimConfig {
+                p: 6,
+                rho: 12,
+                seed: 5,
+            },
+        );
+        assert_eq!(a.total_relaxed, b.total_relaxed);
+        assert_eq!(a.phases.len(), b.phases.len());
+    }
+
+    #[test]
+    fn min_node_exception_guarantees_progress() {
+        // With rho ≫ active-set size everything is held out except the
+        // minimum; the simulation must still terminate and be correct.
+        let g = graph(80, 0.1, 9);
+        let res = simulate_sssp(
+            &g,
+            0,
+            &SimConfig {
+                p: 2,
+                rho: 10_000,
+                seed: 1,
+            },
+        );
+        assert_eq!(res.dist, dijkstra(&g, 0).dist);
+    }
+}
+
+#[cfg(test)]
+mod invariant_tests {
+    use super::*;
+    use priosched_graph::{erdos_renyi, ErdosRenyiConfig};
+
+    /// With an ideal queue (ρ = 0) the relaxation frontier is monotone:
+    /// the smallest tentative distance relaxed per phase never decreases
+    /// (the paper's phase model settles shells outward, like Dijkstra).
+    #[test]
+    fn min_relaxed_distance_monotone_for_ideal_queue() {
+        let g = erdos_renyi(&ErdosRenyiConfig {
+            n: 250,
+            p: 0.06,
+            seed: 31,
+        });
+        let res = simulate_sssp(&g, 0, &SimConfig { p: 8, rho: 0, seed: 2 });
+        let mut prev = f64::NEG_INFINITY;
+        for ph in &res.phases {
+            assert!(
+                ph.min_dist >= prev - 1e-12,
+                "frontier regressed: {} after {}",
+                ph.min_dist,
+                prev
+            );
+            prev = ph.min_dist;
+        }
+    }
+
+    /// Every reachable node settles exactly once, for any ρ: total settled
+    /// relaxations equal the reachable-node count.
+    #[test]
+    fn total_settled_equals_reachable_nodes() {
+        let g = erdos_renyi(&ErdosRenyiConfig {
+            n: 220,
+            p: 0.07,
+            seed: 32,
+        });
+        let reachable = priosched_graph::dijkstra(&g, 0)
+            .dist
+            .iter()
+            .filter(|d| d.is_finite())
+            .count();
+        for rho in [0usize, 64, 1024] {
+            let res = simulate_sssp(&g, 0, &SimConfig { p: 12, rho, seed: 3 });
+            let settled: usize = res.phases.iter().map(|ph| ph.settled).sum();
+            assert_eq!(settled, reachable, "rho={rho}");
+        }
+    }
+
+    /// Phase records are internally consistent: dists sorted, h* matches
+    /// the extremes, settled ≤ relaxed.
+    #[test]
+    fn phase_records_internally_consistent() {
+        let g = erdos_renyi(&ErdosRenyiConfig {
+            n: 150,
+            p: 0.1,
+            seed: 33,
+        });
+        let res = simulate_sssp(&g, 0, &SimConfig { p: 6, rho: 16, seed: 4 });
+        for ph in &res.phases {
+            assert_eq!(ph.dists.len(), ph.relaxed);
+            assert!(ph.settled <= ph.relaxed);
+            assert!(ph.dists.windows(2).all(|w| w[0] <= w[1]));
+            if ph.relaxed >= 2 {
+                let h = ph.dists.last().unwrap() - ph.dists.first().unwrap();
+                assert!((h - ph.h_star).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Convenience runners tying graph + executor + scheduler together.
+
+use crate::executor::{SsspExecutor, SsspTask};
+use priosched_core::stats::PlaceStats;
+use priosched_core::{
+    CentralizedKPriority, HybridKPriority, PoolKind, PriorityWorkStealing, Scheduler,
+    StructuralKPriority, TaskPool,
+};
+use priosched_graph::CsrGraph;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Parameters of a parallel SSSP run.
+#[derive(Clone, Copy, Debug)]
+pub struct SsspConfig {
+    /// Number of places (worker threads), the paper's `P`.
+    pub places: usize,
+    /// Relaxation parameter `k` passed with every task (§2.2).
+    pub k: usize,
+    /// `kmax` for the centralized structure (paper: 512).
+    pub kmax: u32,
+    /// Scheduler-side dead-task elimination (§5.1); `false` only for
+    /// ablation runs.
+    pub eliminate_dead: bool,
+}
+
+impl Default for SsspConfig {
+    fn default() -> Self {
+        SsspConfig {
+            places: 4,
+            k: 512,
+            kmax: 512,
+            eliminate_dead: true,
+        }
+    }
+}
+
+/// Outcome of a parallel SSSP run.
+#[derive(Clone, Debug)]
+pub struct SsspResult {
+    /// Final distances (exactly Dijkstra's values; see crate docs).
+    pub dist: Vec<f64>,
+    /// Nodes relaxed — the paper's Figures 4–5 metric. Equals the number of
+    /// reachable nodes iff no useless work was performed.
+    pub relaxed: u64,
+    /// Tasks eliminated as dead (scheduler check + in-task re-check).
+    pub dead: u64,
+    /// Wall-clock time of the scheduled run.
+    pub elapsed: Duration,
+    /// Aggregated data-structure counters.
+    pub pool_stats: PlaceStats,
+}
+
+/// Runs parallel SSSP over an explicit task pool.
+pub fn run_sssp<P>(pool: Arc<P>, graph: &CsrGraph, source: u32, cfg: &SsspConfig) -> SsspResult
+where
+    P: TaskPool<SsspTask>,
+{
+    assert!((source as usize) < graph.num_nodes(), "source out of range");
+    let exec = SsspExecutor::with_elimination(graph, source, cfg.k, cfg.eliminate_dead);
+    let sched = Scheduler::from_pool_arc(pool);
+    let run = sched.run(&exec, vec![exec.root(source)]);
+    SsspResult {
+        dist: exec.distances().snapshot(),
+        relaxed: exec.relaxed(),
+        dead: run.dead + exec.late_dead(),
+        elapsed: run.elapsed,
+        pool_stats: run.pool,
+    }
+}
+
+/// Runs parallel SSSP with one of the paper's structures selected at
+/// runtime (used by the figure harness to sweep structures).
+pub fn run_sssp_kind(
+    kind: PoolKind,
+    graph: &CsrGraph,
+    source: u32,
+    cfg: &SsspConfig,
+) -> SsspResult {
+    match kind {
+        PoolKind::WorkStealing => run_sssp(
+            Arc::new(PriorityWorkStealing::new(cfg.places)),
+            graph,
+            source,
+            cfg,
+        ),
+        PoolKind::Centralized => run_sssp(
+            Arc::new(CentralizedKPriority::new(cfg.places, cfg.kmax)),
+            graph,
+            source,
+            cfg,
+        ),
+        PoolKind::Hybrid => run_sssp(
+            Arc::new(HybridKPriority::new(cfg.places)),
+            graph,
+            source,
+            cfg,
+        ),
+        PoolKind::Structural => run_sssp(
+            Arc::new(StructuralKPriority::new(cfg.places, cfg.k)),
+            graph,
+            source,
+            cfg,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use priosched_graph::{dijkstra, erdos_renyi, ErdosRenyiConfig};
+
+    #[test]
+    fn runner_produces_dijkstra_distances() {
+        let g = erdos_renyi(&ErdosRenyiConfig {
+            n: 80,
+            p: 0.15,
+            seed: 3,
+        });
+        let cfg = SsspConfig {
+            places: 2,
+            k: 8,
+            kmax: 64,
+            ..SsspConfig::default()
+        };
+        let res = run_sssp(Arc::new(HybridKPriority::new(cfg.places)), &g, 0, &cfg);
+        assert_eq!(res.dist, dijkstra(&g, 0).dist);
+        assert!(res.relaxed >= 80);
+        assert!(res.pool_stats.pushes >= res.relaxed.saturating_sub(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "source out of range")]
+    fn bad_source_panics() {
+        let g = erdos_renyi(&ErdosRenyiConfig {
+            n: 10,
+            p: 0.5,
+            seed: 1,
+        });
+        let cfg = SsspConfig::default();
+        run_sssp_kind(PoolKind::Hybrid, &g, 99, &cfg);
+    }
+}
