@@ -1,8 +1,13 @@
 //! Data-structure push/pop throughput — the congestion behaviour underlying
 //! Figures 4–5.
 //!
-//! Single-threaded cost per op for each structure (pure overhead ranking)
-//! plus a small contended producer/consumer scenario.
+//! Single-threaded cost per op for each structure (pure overhead ranking),
+//! a small contended producer/consumer scenario, and the scalar-vs-batched
+//! comparison for the batch API (`push_batch`/`try_pop_batch`) at batch
+//! sizes 1/8/32/128.
+//!
+//! To record a JSON baseline (e.g. the committed `BENCH_batch.json`):
+//! `CRITERION_JSON_OUT=BENCH_batch.json cargo bench --bench ds_throughput -- ds_batch`
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use priosched_core::{
@@ -14,16 +19,46 @@ use std::time::Duration;
 
 const OPS: u64 = 10_000;
 
+#[inline]
+fn prio_of(i: u64) -> u64 {
+    // Pseudo-random priorities; xorshift-style scramble of i.
+    i.wrapping_mul(0x9E3779B97F4A7C15) >> 32
+}
+
 fn push_pop_cycle<P: TaskPool<u64>>(pool: Arc<P>) {
     let mut h = pool.handle(0);
     for i in 0..OPS {
-        // Pseudo-random priorities; xorshift-style scramble of i.
-        let prio = i.wrapping_mul(0x9E3779B97F4A7C15) >> 32;
-        h.push(prio, 64, i);
+        h.push(prio_of(i), 64, i);
     }
     let mut got = 0;
     while h.pop().is_some() {
         got += 1;
+    }
+    assert_eq!(got, OPS);
+}
+
+/// Same workload as [`push_pop_cycle`], but routed through the batch API.
+fn push_pop_cycle_batched<P: TaskPool<u64>>(pool: Arc<P>, batch: usize) {
+    let mut h = pool.handle(0);
+    let mut buf: Vec<(u64, u64)> = Vec::with_capacity(batch);
+    let mut i = 0u64;
+    while i < OPS {
+        let n = batch.min((OPS - i) as usize);
+        for _ in 0..n {
+            buf.push((prio_of(i), i));
+            i += 1;
+        }
+        h.push_batch(64, &mut buf);
+    }
+    let mut out: Vec<u64> = Vec::with_capacity(batch);
+    let mut got = 0;
+    loop {
+        out.clear();
+        let n = h.try_pop_batch(&mut out, batch);
+        if n == 0 {
+            break;
+        }
+        got += n as u64;
     }
     assert_eq!(got, OPS);
 }
@@ -57,8 +92,7 @@ fn contended_cycle<P: TaskPool<u64>>(pool: Arc<P>, threads: usize) {
                 let mut h = pool.handle(t);
                 let mut popped = 0u64;
                 for i in 0..per {
-                    let prio = i.wrapping_mul(0x9E3779B97F4A7C15) >> 32;
-                    h.push(prio, 64, i);
+                    h.push(prio_of(i), 64, i);
                     if i % 2 == 1 {
                         // Interleave pops so both paths stay hot.
                         if h.pop().is_some() {
@@ -68,6 +102,44 @@ fn contended_cycle<P: TaskPool<u64>>(pool: Arc<P>, threads: usize) {
                 }
                 while h.pop().is_some() {
                     popped += 1;
+                }
+                criterion::black_box(popped);
+            });
+        }
+    });
+}
+
+/// Contended workload routed through the batch API: each round pushes a
+/// batch and immediately pops up to half of it back (mirroring the
+/// half-interleaved pops of [`contended_cycle`]), then drains in batches.
+fn contended_cycle_batched<P: TaskPool<u64>>(pool: Arc<P>, threads: usize, batch: usize) {
+    let per = OPS / threads as u64;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let pool = Arc::clone(&pool);
+            s.spawn(move || {
+                let mut h = pool.handle(t);
+                let mut popped = 0u64;
+                let mut buf: Vec<(u64, u64)> = Vec::with_capacity(batch);
+                let mut out: Vec<u64> = Vec::with_capacity(batch);
+                let mut i = 0u64;
+                while i < per {
+                    let n = batch.min((per - i) as usize);
+                    for _ in 0..n {
+                        buf.push((prio_of(i), i));
+                        i += 1;
+                    }
+                    h.push_batch(64, &mut buf);
+                    out.clear();
+                    popped += h.try_pop_batch(&mut out, n.div_ceil(2)) as u64;
+                }
+                loop {
+                    out.clear();
+                    let n = h.try_pop_batch(&mut out, batch);
+                    if n == 0 {
+                        break;
+                    }
+                    popped += n as u64;
                 }
                 criterion::black_box(popped);
             });
@@ -96,5 +168,114 @@ fn bench_contended(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_single_thread, bench_contended);
+/// Scalar-vs-batched push/pop, single place: isolates the per-operation
+/// overhead the batch API amortizes (locks, free-list CASes, heap
+/// repairs) without scheduling noise. Batch size 1 measures the batch
+/// path's fixed overhead; sizes 8/32/128 its amortization.
+fn bench_batch_single_thread(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ds_batch_single_thread");
+    g.throughput(Throughput::Elements(2 * OPS));
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    for name in ["work_stealing", "centralized", "hybrid", "structural"] {
+        g.bench_with_input(BenchmarkId::new(name, "scalar"), &name, |b, &name| {
+            b.iter(|| match name {
+                "work_stealing" => push_pop_cycle(Arc::new(PriorityWorkStealing::new(1))),
+                "centralized" => push_pop_cycle(Arc::new(CentralizedKPriority::with_defaults(1))),
+                "hybrid" => push_pop_cycle(Arc::new(HybridKPriority::new(1))),
+                _ => push_pop_cycle(Arc::new(StructuralKPriority::new(1, 64))),
+            })
+        });
+        for batch in [1usize, 8, 32, 128] {
+            g.bench_with_input(
+                BenchmarkId::new(name, format!("batch{batch}")),
+                &batch,
+                |b, &batch| {
+                    b.iter(|| match name {
+                        "work_stealing" => {
+                            push_pop_cycle_batched(Arc::new(PriorityWorkStealing::new(1)), batch)
+                        }
+                        "centralized" => push_pop_cycle_batched(
+                            Arc::new(CentralizedKPriority::with_defaults(1)),
+                            batch,
+                        ),
+                        "hybrid" => {
+                            push_pop_cycle_batched(Arc::new(HybridKPriority::new(1)), batch)
+                        }
+                        _ => {
+                            push_pop_cycle_batched(Arc::new(StructuralKPriority::new(1, 64)), batch)
+                        }
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+/// Scalar-vs-batched under contention (4 places): the acceptance scenario
+/// for the batch API — amortized synchronization must beat per-op
+/// synchronization once batches reach a useful size.
+fn bench_batch_contended(c: &mut Criterion) {
+    let threads = 4usize;
+    let mut g = c.benchmark_group("ds_batch_contended");
+    g.throughput(Throughput::Elements(2 * OPS));
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    for name in ["work_stealing", "centralized", "hybrid", "structural"] {
+        g.bench_with_input(
+            BenchmarkId::new(name, format!("scalar_t{threads}")),
+            &threads,
+            |b, &t| {
+                b.iter(|| match name {
+                    "work_stealing" => contended_cycle(Arc::new(PriorityWorkStealing::new(t)), t),
+                    "centralized" => {
+                        contended_cycle(Arc::new(CentralizedKPriority::with_defaults(t)), t)
+                    }
+                    "hybrid" => contended_cycle(Arc::new(HybridKPriority::new(t)), t),
+                    _ => contended_cycle(Arc::new(StructuralKPriority::new(t, 64)), t),
+                })
+            },
+        );
+        for batch in [8usize, 32, 128] {
+            g.bench_with_input(
+                BenchmarkId::new(name, format!("batch{batch}_t{threads}")),
+                &batch,
+                |b, &batch| {
+                    b.iter(|| match name {
+                        "work_stealing" => contended_cycle_batched(
+                            Arc::new(PriorityWorkStealing::new(threads)),
+                            threads,
+                            batch,
+                        ),
+                        "centralized" => contended_cycle_batched(
+                            Arc::new(CentralizedKPriority::with_defaults(threads)),
+                            threads,
+                            batch,
+                        ),
+                        "hybrid" => contended_cycle_batched(
+                            Arc::new(HybridKPriority::new(threads)),
+                            threads,
+                            batch,
+                        ),
+                        _ => contended_cycle_batched(
+                            Arc::new(StructuralKPriority::new(threads, 64)),
+                            threads,
+                            batch,
+                        ),
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single_thread,
+    bench_contended,
+    bench_batch_single_thread,
+    bench_batch_contended
+);
 criterion_main!(benches);

@@ -31,7 +31,7 @@
 //! This mirrors the Theorem 1/2 arguments.
 
 use crate::garray::{GlobalArray, SegmentCursor};
-use crate::item::{Item, ItemPool, ItemRef};
+use crate::item::{Item, ItemCache, ItemPool, ItemRef};
 use crate::pool::{PoolHandle, TaskPool};
 use crate::stats::PlaceStats;
 use crate::util::XorShift64;
@@ -181,6 +181,7 @@ impl<T: Send + 'static> TaskPool<T> for CentralizedKPriority<T> {
             push_cursor: SegmentCursor::default(),
             probe_cursor: SegmentCursor::default(),
             pq: BinaryHeap::with_capacity(256),
+            cache: ItemCache::new(),
             rng: XorShift64::new(0xC3A5_0000 ^ place as u64),
             stats: PlaceStats::default(),
             shared: Arc::clone(self),
@@ -201,6 +202,9 @@ pub struct CentralizedHandle<T: Send + 'static> {
     push_cursor: SegmentCursor<T>,
     probe_cursor: SegmentCursor<T>,
     pq: BinaryHeap<ItemRef<T>>,
+    /// Place-local stash of free items; refilled/flushed in batches so
+    /// the shared free list is touched once per batch, not per task.
+    cache: ItemCache<T>,
     rng: XorShift64,
     stats: PlaceStats,
 }
@@ -266,29 +270,26 @@ impl<T: Send + 'static> CentralizedHandle<T> {
         }
         let task = item.try_take(pos)?;
         // SAFETY: unique take winner returns the item.
-        unsafe { self.shared.pool.release(ptr) };
+        unsafe { self.cache.release(&self.shared.pool, ptr) };
         self.stats.probe_hits += 1;
         Some(task)
     }
-}
 
-impl<T: Send + 'static> PoolHandle<T> for CentralizedHandle<T> {
-    /// Listing 1. `k` is clamped to `[1, kmax]`: a window of size 1 is the
-    /// strictest placement the array supports (`k = 0` degenerates to it).
-    fn push(&mut self, prio: u64, k: usize, task: T) {
-        let k = (k as u64).clamp(1, self.shared.kmax as u64);
-        let ptr = self.shared.pool.acquire();
-        // SAFETY: freshly acquired item, exclusively ours until published.
+    /// Places one initialized item into the k-window, maintaining the
+    /// caller's cached tail in `t` (Listing 1's loop with the tail read
+    /// hoisted; see `push_batch` for why a stale tail is sound). Returns
+    /// the reference to enqueue locally — scalar `push` inserts it
+    /// directly, `push_batch` defers to one bulk repair.
+    fn place_item(&mut self, ptr: *const Item<T>, prio: u64, k: u64, t: &mut u64) -> ItemRef<T> {
+        // SAFETY: the item is exclusively ours until the publishing CAS.
         let item = unsafe { &*ptr };
-        unsafe { item.init(self.place, k as u32, prio, task) };
         loop {
-            let t = self.shared.tail.load(Ordering::Acquire);
             let offset = match self.shared.placement {
                 Placement::Random => self.rng.below(k),
                 Placement::Linear => 0,
             };
             for i in 0..k {
-                let pos = t + (offset + i) % k;
+                let pos = *t + (offset + i) % k;
                 let slot = self.shared.array.slot_or_grow(pos, &mut self.push_cursor);
                 if !slot.load(Ordering::Acquire).is_null() {
                     continue; // taken by another item
@@ -306,13 +307,12 @@ impl<T: Send + 'static> PoolHandle<T> for CentralizedHandle<T> {
                     )
                     .is_ok()
                 {
-                    self.pq.push(ItemRef {
+                    self.stats.pushes += 1;
+                    return ItemRef {
                         prio,
                         tag: pos,
                         ptr,
-                    });
-                    self.stats.pushes += 1;
-                    return;
+                    };
                 }
             }
             // Window full: advance the tail. "One thread will succeed, no
@@ -320,8 +320,23 @@ impl<T: Send + 'static> PoolHandle<T> for CentralizedHandle<T> {
             let _ =
                 self.shared
                     .tail
-                    .compare_exchange(t, t + k, Ordering::AcqRel, Ordering::Relaxed);
+                    .compare_exchange(*t, *t + k, Ordering::AcqRel, Ordering::Relaxed);
+            *t = self.shared.tail.load(Ordering::Acquire);
         }
+    }
+}
+
+impl<T: Send + 'static> PoolHandle<T> for CentralizedHandle<T> {
+    /// Listing 1. `k` is clamped to `[1, kmax]`: a window of size 1 is the
+    /// strictest placement the array supports (`k = 0` degenerates to it).
+    fn push(&mut self, prio: u64, k: usize, task: T) {
+        let k = (k as u64).clamp(1, self.shared.kmax as u64);
+        let ptr = self.cache.acquire(&self.shared.pool);
+        // SAFETY: freshly acquired item, exclusively ours until published.
+        unsafe { (*ptr).init(self.place, k as u32, prio, task) };
+        let mut t = self.shared.tail.load(Ordering::Acquire);
+        let r = self.place_item(ptr, prio, k, &mut t);
+        self.pq.push(r);
     }
 
     /// Listing 2.
@@ -334,7 +349,7 @@ impl<T: Send + 'static> PoolHandle<T> for CentralizedHandle<T> {
                 if item.is_live_at(r.tag) {
                     if let Some(task) = item.try_take(r.tag) {
                         // SAFETY: unique take winner returns the item.
-                        unsafe { self.shared.pool.release(r.ptr) };
+                        unsafe { self.cache.release(&self.shared.pool, r.ptr) };
                         self.stats.pops += 1;
                         return Some(task);
                     }
@@ -362,6 +377,95 @@ impl<T: Send + 'static> PoolHandle<T> for CentralizedHandle<T> {
         }
     }
 
+    /// Batch push (Listing 1 amortized): one item-pool refill for the
+    /// whole batch, one tail read + one random offset per *window pass*
+    /// (≤ k placements) instead of per task, and a single bulk repair of
+    /// the local reference queue at the end.
+    ///
+    /// Relaxation accounting is unchanged: every element is placed inside
+    /// `[tail, tail + k)` exactly as a scalar push would place it, so each
+    /// batch element individually obeys the ρ = k window. Using a cached
+    /// (possibly stale) tail is sound because slots below the real tail
+    /// are never null — a successful slot CAS therefore always lands at a
+    /// position ≥ the current tail and < cached-tail + k ≤ current + k.
+    fn push_batch(&mut self, k: usize, batch: &mut Vec<(u64, T)>) {
+        if batch.is_empty() {
+            return;
+        }
+        let n = batch.len();
+        let k = (k as u64).clamp(1, self.shared.kmax as u64);
+        // One shared-free-list interaction for the whole batch.
+        self.cache.prefetch(&self.shared.pool, n);
+        let mut t = self.shared.tail.load(Ordering::Acquire);
+        let mut refs = Vec::with_capacity(n);
+        for (prio, task) in batch.drain(..) {
+            let ptr = self.cache.acquire(&self.shared.pool);
+            // SAFETY: freshly acquired item, exclusively ours until placed.
+            unsafe { (*ptr).init(self.place, k as u32, prio, task) };
+            refs.push(self.place_item(ptr, prio, k, &mut t));
+        }
+        self.pq.extend_batch(refs);
+    }
+
+    /// Batch pop (Listing 2 amortized): one global-array scan serves up to
+    /// `max` takes, and the taken items are recycled through the
+    /// place-local cache (one free-list CAS per flush, not per item).
+    ///
+    /// Each take individually honours ρ = k at the moment the batch
+    /// scanned the array; tasks pushed concurrently while the batch drains
+    /// are "newer than the batch" and may be served by the next call —
+    /// the same window a scalar pop exposes between its scan and its take.
+    fn try_pop_batch(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        let mut got = 0;
+        loop {
+            let scanned_to = self.ingest();
+            while got < max {
+                let Some(r) = self.pq.pop() else { break };
+                // SAFETY: pool-owned item.
+                let item = unsafe { &*r.ptr };
+                if item.is_live_at(r.tag) {
+                    if let Some(task) = item.try_take(r.tag) {
+                        // SAFETY: unique take winner returns the item.
+                        unsafe { self.cache.release(&self.shared.pool, r.ptr) };
+                        out.push(task);
+                        got += 1;
+                        continue;
+                    }
+                }
+                self.stats.stale_refs += 1;
+                if self.shared.tail.load(Ordering::Acquire) != scanned_to {
+                    self.ingest();
+                }
+            }
+            if got >= max {
+                break;
+            }
+            // Local queue drained below max: rescan if the tail moved,
+            // otherwise try the probe once (only for an empty batch — a
+            // partial batch is already a success).
+            let tail = self.shared.tail.load(Ordering::Acquire);
+            if tail != scanned_to {
+                continue;
+            }
+            if got == 0 {
+                if let Some(task) = self.probe(tail) {
+                    out.push(task);
+                    got = 1;
+                }
+            }
+            break;
+        }
+        if got == 0 {
+            self.stats.failed_pops += 1;
+        } else {
+            self.stats.pops += got as u64;
+        }
+        got
+    }
+
     fn stats(&self) -> PlaceStats {
         self.stats
     }
@@ -369,6 +473,8 @@ impl<T: Send + 'static> PoolHandle<T> for CentralizedHandle<T> {
 
 impl<T: Send + 'static> Drop for CentralizedHandle<T> {
     fn drop(&mut self) {
+        // Return stashed free items so reclaim/new handles see them.
+        self.cache.drain_to(&self.shared.pool);
         self.shared.handle_live[self.place as usize].store(false, Ordering::Release);
     }
 }

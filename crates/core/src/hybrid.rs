@@ -20,7 +20,7 @@
 //! a flag so recycling is ABA-safe; tags are derived from per-place indices,
 //! made globally unique as `local_index · P + place`.
 
-use crate::item::{Item, ItemPool, ItemRef};
+use crate::item::{Item, ItemCache, ItemPool, ItemRef};
 use crate::pool::{PoolHandle, TaskPool};
 use crate::stats::PlaceStats;
 use crate::util::XorShift64;
@@ -202,6 +202,7 @@ impl<T: Send + 'static> TaskPool<T> for HybridKPriority<T> {
             next_local_idx: 0,
             remaining_k: u64::MAX,
             pq: BinaryHeap::with_capacity(256),
+            cache: ItemCache::new(),
             g_seg: self.global_head.load(Ordering::Acquire),
             g_idx: 0,
             last_victim: NO_VICTIM,
@@ -250,6 +251,9 @@ pub struct HybridHandle<T: Send + 'static> {
     /// Publication budget (Listing 3); `u64::MAX` plays the role of ∞.
     remaining_k: u64,
     pq: BinaryHeap<ItemRef<T>>,
+    /// Place-local stash of free items; refilled/flushed in batches so
+    /// the shared free list is touched once per batch, not per task.
+    cache: ItemCache<T>,
     /// Read position in the global list.
     g_seg: *const HSeg<T>,
     g_idx: usize,
@@ -403,6 +407,29 @@ impl<T: Send + 'static> HybridHandle<T> {
         got
     }
 
+    /// Creates, tags and appends one task to the local list, charging the
+    /// publication budget and publishing when it is exhausted (Listing 3
+    /// minus the local-queue insertion, which batch callers defer).
+    fn insert_local(&mut self, prio: u64, k: u64, task: T) -> ItemRef<T> {
+        let ptr = self.cache.acquire(&self.shared.pool);
+        // SAFETY: freshly acquired item, ours until published below.
+        let item = unsafe { &*ptr };
+        unsafe { item.init(self.place, k as u32, prio, task) };
+        let tag = self.next_local_idx * self.nplaces() + self.place as u64;
+        self.next_local_idx += 1;
+        // Release store publishes the payload to any thread that later
+        // observes this tag (spies and global readers revalidate via CAS).
+        item.tag.store(tag, Ordering::Release);
+        self.append_local(ptr, tag);
+        self.remaining_k = self.remaining_k.saturating_sub(1).min(k);
+        if self.remaining_k == 0 {
+            self.publish();
+            self.remaining_k = u64::MAX;
+        }
+        self.stats.pushes += 1;
+        ItemRef { prio, tag, ptr }
+    }
+
     /// Victim selection: last successful victim first, chasing each empty
     /// victim's own `last_victim` (§4.2.3), falling back to random places.
     /// Allowed to fail spuriously.
@@ -443,23 +470,8 @@ impl<T: Send + 'static> PoolHandle<T> for HybridHandle<T> {
     /// immediately.
     fn push(&mut self, prio: u64, k: usize, task: T) {
         let k = (k as u64).min(u32::MAX as u64);
-        let ptr = self.shared.pool.acquire();
-        // SAFETY: freshly acquired item, ours until published below.
-        let item = unsafe { &*ptr };
-        unsafe { item.init(self.place, k as u32, prio, task) };
-        let tag = self.next_local_idx * self.nplaces() + self.place as u64;
-        self.next_local_idx += 1;
-        // Release store publishes the payload to any thread that later
-        // observes this tag (spies and global readers revalidate via CAS).
-        item.tag.store(tag, Ordering::Release);
-        self.append_local(ptr, tag);
-        self.pq.push(ItemRef { prio, tag, ptr });
-        self.remaining_k = self.remaining_k.saturating_sub(1).min(k);
-        if self.remaining_k == 0 {
-            self.publish();
-            self.remaining_k = u64::MAX;
-        }
-        self.stats.pushes += 1;
+        let r = self.insert_local(prio, k, task);
+        self.pq.push(r);
     }
 
     /// Listing 4.
@@ -472,7 +484,7 @@ impl<T: Send + 'static> PoolHandle<T> for HybridHandle<T> {
                 if item.is_live_at(r.tag) {
                     if let Some(task) = item.try_take(r.tag) {
                         // SAFETY: unique take winner returns the item.
-                        unsafe { self.shared.pool.release(r.ptr) };
+                        unsafe { self.cache.release(&self.shared.pool, r.ptr) };
                         self.stats.pops += 1;
                         return Some(task);
                     }
@@ -488,6 +500,67 @@ impl<T: Send + 'static> PoolHandle<T> for HybridHandle<T> {
         }
     }
 
+    /// Batch push (Listing 3 amortized): one item-pool refill for the
+    /// batch, the publication budget charged element-wise so the batch
+    /// publishes at exactly the points the equivalent scalar pushes would
+    /// (preserving ρ = P·k — at most `k` tasks of this place ever sit
+    /// unpublished, batch or no batch), and a single bulk repair of the
+    /// local queue at the end instead of one sift per task.
+    fn push_batch(&mut self, k: usize, batch: &mut Vec<(u64, T)>) {
+        if batch.is_empty() {
+            return;
+        }
+        let n = batch.len();
+        let k = (k as u64).min(u32::MAX as u64);
+        // One shared-free-list refill round for the whole batch.
+        self.cache.prefetch(&self.shared.pool, n);
+        let mut refs = Vec::with_capacity(n);
+        for (prio, task) in batch.drain(..) {
+            refs.push(self.insert_local(prio, k, task));
+        }
+        self.pq.extend_batch(refs);
+    }
+
+    /// Batch pop (Listing 4 amortized): one global-list read serves up to
+    /// `max` takes; taken items recycle through the place-local cache.
+    /// Spying is attempted only when the batch would otherwise be empty —
+    /// a partial batch is already progress.
+    fn try_pop_batch(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        let mut got = 0;
+        loop {
+            self.process_global_list();
+            while got < max {
+                let Some(r) = self.pq.pop() else { break };
+                // SAFETY: pool-owned item.
+                let item = unsafe { &*r.ptr };
+                if item.is_live_at(r.tag) {
+                    if let Some(task) = item.try_take(r.tag) {
+                        // SAFETY: unique take winner returns the item.
+                        unsafe { self.cache.release(&self.shared.pool, r.ptr) };
+                        out.push(task);
+                        got += 1;
+                        continue;
+                    }
+                }
+                self.stats.stale_refs += 1;
+                self.process_global_list();
+            }
+            if got == 0 && self.spy() {
+                continue;
+            }
+            break;
+        }
+        if got == 0 {
+            self.stats.failed_pops += 1;
+        } else {
+            self.stats.pops += got as u64;
+        }
+        got
+    }
+
     fn stats(&self) -> PlaceStats {
         self.stats
     }
@@ -498,6 +571,8 @@ impl<T: Send + 'static> Drop for HybridHandle<T> {
         // Make any still-private tasks globally reachable so a future handle
         // (next incarnation) or other places can run them.
         self.publish();
+        // Return stashed free items to the shared pool.
+        self.cache.drain_to(&self.shared.pool);
         self.shared.handle_live[self.place as usize].store(false, Ordering::Release);
     }
 }

@@ -46,6 +46,47 @@
 //! releases memory when the data structure is dropped; position-derived tags
 //! make recycling ABA-safe exactly as in §4.1.3/§4.2.3. See DESIGN.md §4 for
 //! the substitution rationale.
+//!
+//! # Batch operations
+//!
+//! Every hot path has a batched form that amortizes synchronization
+//! without weakening ordering guarantees:
+//!
+//! * [`pool::PoolHandle::push_batch`] / [`pool::PoolHandle::try_pop_batch`]
+//!   move whole task batches through each structure — one lock
+//!   acquisition per batch (work-stealing), one window pass per ≤ k
+//!   placements plus one local-queue repair (centralized), one
+//!   publication CAS per exhausted budget (hybrid);
+//! * [`item::ItemPool::acquire_batch`] / [`item::ItemPool::release_batch`]
+//!   pop/push whole free-list chains with a single CAS, and
+//!   [`item::ItemCache`] gives each place a private stash so scalar
+//!   operations touch the shared free list once per
+//!   [`item::ItemCache::REFILL`] items;
+//! * [`scheduler::SpawnCtx::spawn_batch`] stores a task's children with
+//!   one pending-counter update and one `push_batch` — the spawn path for
+//!   executors that emit many children per task (SSSP node expansion).
+//!
+//! ## How a batch is charged against `k`/ρ
+//!
+//! Batching amortizes *synchronization*, never *ordering slack*: every
+//! batch element is charged against the relaxation bound individually,
+//! exactly as the equivalent sequence of scalar calls would be.
+//!
+//! * **Centralized (ρ = k):** each element is placed inside
+//!   `[tail, tail + k)` of the tail current at its placement; the batch
+//!   holds no window open, so a batch of n behaves like n scalar pushes
+//!   and the k-newest-items bound is untouched.
+//! * **Hybrid (ρ = P·k):** the publication budget (`remaining_k`)
+//!   decrements once per batch element, and the local list publishes
+//!   *mid-batch* the moment the budget reaches zero — a batch is charged
+//!   as a unit of n sequential debits, so at most `k` tasks of a place
+//!   are ever unpublished, batch or no batch.
+//! * **Pops:** a batch pop returns what ≤ max consecutive scalar pops
+//!   would have returned against the state at its scan; in any sequential
+//!   interleaving the histories coincide exactly (property-tested in
+//!   `tests/proptests.rs`), and under concurrency tasks pushed while a
+//!   batch drains are simply "newer than the batch", the same window a
+//!   scalar pop exposes between its scan and its take-CAS.
 
 pub mod centralized;
 pub mod garray;
@@ -71,13 +112,21 @@ pub use workstealing::PriorityWorkStealing;
 ///
 /// For non-negative IEEE-754 doubles the raw bit pattern is already
 /// monotonically increasing, so the conversion is a transmute. `+∞` is
-/// allowed (it encodes "unreached" priorities).
+/// allowed (it encodes "unreached" priorities), and `-0.0` is normalized
+/// to the key of `+0.0` (its raw bit pattern has the sign bit set and
+/// would otherwise order above every positive value).
 ///
 /// # Panics
-/// Panics (debug builds) if `x` is negative.
+/// Panics — in every build profile — if `x` is negative or NaN: a silently
+/// misordered priority key corrupts scheduling decisions far from the call
+/// site, which is strictly worse than failing here.
 #[inline]
 pub fn priority_from_f64(x: f64) -> u64 {
-    debug_assert!(x >= 0.0, "priority_from_f64 requires non-negative input");
+    assert!(x >= 0.0, "priority_from_f64 requires non-negative input");
+    if x == 0.0 {
+        // Collapses -0.0 (sign bit set) onto +0.0's key.
+        return 0;
+    }
     x.to_bits()
 }
 
@@ -104,5 +153,25 @@ mod conversion_tests {
         for x in [0.0, 0.25, 3.5, 1e10, f64::INFINITY] {
             assert_eq!(priority_to_f64(priority_from_f64(x)), x);
         }
+    }
+
+    #[test]
+    fn negative_zero_maps_to_zero_key() {
+        assert_eq!(priority_from_f64(-0.0), 0);
+        assert_eq!(priority_from_f64(-0.0), priority_from_f64(0.0));
+        // And therefore orders below every positive value.
+        assert!(priority_from_f64(-0.0) < priority_from_f64(1e-300));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_input_panics_in_all_profiles() {
+        priority_from_f64(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn nan_input_panics() {
+        priority_from_f64(f64::NAN);
     }
 }

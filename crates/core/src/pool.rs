@@ -55,6 +55,47 @@ pub trait PoolHandle<T: Send>: Send {
     /// `None` means "nothing found right now" — possibly spuriously.
     fn pop(&mut self) -> Option<T>;
 
+    /// Stores a batch of `(prio, task)` pairs sharing one relaxation bound
+    /// `k`, draining `batch`.
+    ///
+    /// Semantically equivalent to pushing the pairs in order with scalar
+    /// [`PoolHandle::push`] — same exactly-once guarantee, same per-task
+    /// relaxation accounting (each batch element counts individually
+    /// against `k`/ρ budgets; batching amortizes *synchronization*, never
+    /// *ordering slack*). Implementations amortize the shared-state work:
+    /// one lock acquisition, one item-pool refill, one publication CAS,
+    /// and one local-queue repair per batch instead of per task.
+    ///
+    /// The default implementation loops over scalar `push`.
+    fn push_batch(&mut self, k: usize, batch: &mut Vec<(u64, T)>) {
+        for (prio, task) in batch.drain(..) {
+            self.push(prio, k, task);
+        }
+    }
+
+    /// Pops up to `max` tasks into `out`, returning how many were
+    /// appended. `0` means "nothing found right now" — possibly spuriously,
+    /// exactly like a `None` from [`PoolHandle::pop`].
+    ///
+    /// The tasks returned are those `max` consecutive scalar `pop`s could
+    /// have returned (each individually honouring the structure's ρ
+    /// bound); implementations amortize ingest/lock work across the batch.
+    ///
+    /// The default implementation loops over scalar `pop`.
+    fn try_pop_batch(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        let mut got = 0;
+        while got < max {
+            match self.pop() {
+                Some(task) => {
+                    out.push(task);
+                    got += 1;
+                }
+                None => break,
+            }
+        }
+        got
+    }
+
     /// Snapshot of this place's operation counters.
     fn stats(&self) -> PlaceStats;
 }

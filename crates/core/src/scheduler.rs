@@ -19,6 +19,21 @@
 //! [`crate::task::FinishRegion`] together with [`SpawnCtx::help_while`]: a
 //! task waiting on a region keeps executing other tasks instead of blocking
 //! the worker, which is the natural help-first realization.
+//!
+//! # Why spawns batch but pops do not
+//!
+//! [`SpawnCtx::spawn_batch`] batches the *push* side: all children of a
+//! task are stored with one batched insertion, which cannot change what
+//! any pop observes (pops only happen between task executions, and the
+//! batch lands before the executing task returns). The worker loop still
+//! pops one task at a time on purpose: popping a batch ahead of execution
+//! would fix the batch's order against tasks spawned *during* the batch —
+//! a freshly spawned better-priority task would wait behind the
+//! pre-popped rest, which creates useless work even at one place (e.g.
+//! SSSP relaxing a node whose distance a batch-mate was about to
+//! improve). Per-pop latency is already amortized by the structures'
+//! batched ingest; batching across *executions* is where ordering would
+//! actually be lost.
 
 use crate::pool::{PoolHandle, TaskPool};
 use crate::stats::PlaceStats;
@@ -59,6 +74,9 @@ pub struct SpawnCtx<'a, T: Send> {
     place: usize,
     executed: u64,
     dead: u64,
+    /// Reusable scratch for [`SpawnCtx::take_batch_buf`], so executors can
+    /// build spawn batches without a per-task-execution allocation.
+    batch_buf: Vec<(u64, T)>,
 }
 
 impl<'a, T: Send> SpawnCtx<'a, T> {
@@ -69,6 +87,38 @@ impl<'a, T: Send> SpawnCtx<'a, T> {
         // counter could read zero.
         self.pending.fetch_add(1, Ordering::AcqRel);
         self.handle.push(prio, k, task);
+    }
+
+    /// Spawns a batch of `(prio, task)` pairs sharing the relaxation bound
+    /// `k`, draining `tasks`.
+    ///
+    /// Help-first semantics are unchanged — every task is stored for later
+    /// execution — but the whole batch flows through
+    /// [`PoolHandle::push_batch`]: one pending-counter update and one
+    /// batched structure insertion instead of per-task trait calls. This
+    /// is the intended spawn path for executors that emit many children
+    /// per task (e.g. SSSP node expansion); pair it with
+    /// [`SpawnCtx::take_batch_buf`] to avoid allocating the batch.
+    pub fn spawn_batch(&mut self, k: usize, tasks: &mut Vec<(u64, T)>) {
+        if tasks.is_empty() {
+            return;
+        }
+        // Increment before push, as in `spawn`.
+        self.pending.fetch_add(tasks.len() as u64, Ordering::AcqRel);
+        self.handle.push_batch(k, tasks);
+    }
+
+    /// Borrows the reusable batch buffer (empty). Fill it, pass it to
+    /// [`SpawnCtx::spawn_batch`], then return it via
+    /// [`SpawnCtx::put_batch_buf`] so the allocation is reused.
+    pub fn take_batch_buf(&mut self) -> Vec<(u64, T)> {
+        std::mem::take(&mut self.batch_buf)
+    }
+
+    /// Returns a buffer taken with [`SpawnCtx::take_batch_buf`].
+    pub fn put_batch_buf(&mut self, mut buf: Vec<(u64, T)>) {
+        buf.clear();
+        self.batch_buf = buf;
     }
 
     /// The id of the place executing the current task.
@@ -210,6 +260,7 @@ impl<Pool> Scheduler<Pool> {
                         place,
                         executed: 0,
                         dead: 0,
+                        batch_buf: Vec::new(),
                     };
                     let backoff = Backoff::new();
                     loop {

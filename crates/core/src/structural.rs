@@ -211,6 +211,75 @@ impl<T: Send + 'static> PoolHandle<T> for StructuralHandle<T> {
         entry.map(|e| e.task)
     }
 
+    /// Batch push: the local-buffer prefix fills under one buffer lock,
+    /// and everything past the buffer bound goes to the shared queue in a
+    /// single locked bulk insert.
+    fn push_batch(&mut self, _k: usize, batch: &mut Vec<(u64, T)>) {
+        if batch.is_empty() {
+            return;
+        }
+        let n = batch.len() as u64;
+        let base_seq = self.seq;
+        self.seq += n;
+        self.stats.pushes += n;
+        let mut entries = batch.drain(..).enumerate().map(|(i, (prio, task))| Entry {
+            prio,
+            seq: base_seq + i as u64,
+            task,
+        });
+        let mut buf = self.shared.buffers[self.place].lock();
+        let room = self.shared.k.saturating_sub(buf.len());
+        buf.extend_batch(entries.by_ref().take(room));
+        drop(buf);
+        let overflow: Vec<Entry<T>> = entries.collect();
+        if !overflow.is_empty() {
+            self.stats.publishes += overflow.len() as u64;
+            self.shared.shared_heap.lock().extend_batch(overflow);
+        }
+    }
+
+    /// Batch pop: drains up to `max` tasks while holding the two locks
+    /// once, instead of re-locking per task; raiding (the slow path) is
+    /// delegated to scalar `pop` when the batch would come up empty.
+    fn try_pop_batch(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        let mut got = 0;
+        {
+            let mut buf = self.shared.buffers[self.place].lock();
+            let mut shared = self.shared.shared_heap.lock();
+            while got < max {
+                let from_buffer = match (buf.peek(), shared.peek()) {
+                    (Some(b), Some(s)) => b < s,
+                    (Some(_), None) => true,
+                    (None, Some(_)) => false,
+                    (None, None) => break,
+                };
+                let entry = if from_buffer { buf.pop() } else { shared.pop() };
+                match entry {
+                    Some(e) => {
+                        out.push(e.task);
+                        got += 1;
+                    }
+                    None => break,
+                }
+            }
+        }
+        if got > 0 {
+            self.stats.pops += got as u64;
+            return got;
+        }
+        // Empty fast path: fall back to the raiding scalar pop.
+        match self.pop() {
+            Some(task) => {
+                out.push(task);
+                1
+            }
+            None => 0,
+        }
+    }
+
     fn stats(&self) -> PlaceStats {
         self.stats
     }

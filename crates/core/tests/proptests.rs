@@ -28,6 +28,10 @@ enum Op {
     Push { place: u8, prio: u16 },
     /// Pop from place (index % 2).
     Pop { place: u8 },
+    /// Batched push of several priorities from place (index % 2).
+    PushBatch { place: u8, prios: Vec<u16> },
+    /// Batched pop of up to `max % 8 + 1` tasks from place (index % 2).
+    PopBatch { place: u8, max: u8 },
 }
 
 fn ops_strategy(max_len: usize) -> impl Strategy<Value = Vec<Op>> {
@@ -35,6 +39,9 @@ fn ops_strategy(max_len: usize) -> impl Strategy<Value = Vec<Op>> {
         prop_oneof![
             3 => (any::<u8>(), any::<u16>()).prop_map(|(place, prio)| Op::Push { place, prio }),
             2 => any::<u8>().prop_map(|place| Op::Pop { place }),
+            1 => (any::<u8>(), proptest::collection::vec(any::<u16>(), 0..24))
+                .prop_map(|(place, prios)| Op::PushBatch { place, prios }),
+            1 => (any::<u8>(), any::<u8>()).prop_map(|(place, max)| Op::PopBatch { place, max }),
         ],
         0..max_len,
     )
@@ -115,11 +122,43 @@ fn run_model_check<P: TaskPool<u64>>(
     let mut next_payload = 0u64;
     let mut prio_of: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
 
+    // Shared oracle for scalar and batched pops: each returned task is
+    // checked exactly as one scalar pop would be (a batch is defined as
+    // the sequence of scalar pops it replaces).
+    fn check_popped(
+        payload: u64,
+        model: &mut Model,
+        prio_of: &std::collections::HashMap<u64, u64>,
+        relaxation: Option<(RelaxationScope, u64)>,
+    ) -> Result<(), TestCaseError> {
+        let prio = *prio_of.get(&payload).expect("popped task was never pushed");
+        let better = model.better_than(prio);
+        model.remove(prio, payload);
+        if let Some((scope, k)) = relaxation {
+            for b in better {
+                // Pushes after the ignored task, in the scope the
+                // structure's guarantee speaks about.
+                let after = match scope {
+                    RelaxationScope::Global => model.pushes - 1 - b.global_seq,
+                    RelaxationScope::PerPlace => model.place_pushes[b.place] - 1 - b.local_seq,
+                };
+                prop_assert!(
+                    after <= k,
+                    "pop ignored task {} with {after} later pushes \
+                     ({scope:?} scope, allowed: {k})",
+                    b.payload
+                );
+            }
+        }
+        Ok(())
+    }
+
+    let mut pop_buf: Vec<u64> = Vec::new();
     for op in ops {
-        match *op {
+        match op {
             Op::Push { place, prio } => {
                 let place = (place % 2) as usize;
-                let prio = prio as u64;
+                let prio = *prio as u64;
                 let payload = next_payload;
                 next_payload += 1;
                 handles[place].push(prio, push_k, payload);
@@ -129,27 +168,32 @@ fn run_model_check<P: TaskPool<u64>>(
             Op::Pop { place } => {
                 let place = (place % 2) as usize;
                 if let Some(payload) = handles[place].pop() {
-                    let prio = *prio_of.get(&payload).expect("popped task was never pushed");
-                    let better = model.better_than(prio);
-                    model.remove(prio, payload);
-                    if let Some((scope, k)) = relaxation {
-                        for b in better {
-                            // Pushes after the ignored task, in the scope
-                            // the structure's guarantee speaks about.
-                            let after = match scope {
-                                RelaxationScope::Global => model.pushes - 1 - b.global_seq,
-                                RelaxationScope::PerPlace => {
-                                    model.place_pushes[b.place] - 1 - b.local_seq
-                                }
-                            };
-                            prop_assert!(
-                                after <= k,
-                                "pop ignored task {} with {after} later pushes \
-                                 ({scope:?} scope, allowed: {k})",
-                                b.payload
-                            );
-                        }
-                    }
+                    check_popped(payload, &mut model, &prio_of, relaxation)?;
+                }
+            }
+            Op::PushBatch { place, prios } => {
+                let place = (place % 2) as usize;
+                let mut batch: Vec<(u64, u64)> = Vec::with_capacity(prios.len());
+                for &prio in prios {
+                    let prio = prio as u64;
+                    let payload = next_payload;
+                    next_payload += 1;
+                    batch.push((prio, payload));
+                    prio_of.insert(payload, prio);
+                    model.push(prio, payload, place);
+                }
+                handles[place].push_batch(push_k, &mut batch);
+                prop_assert!(batch.is_empty(), "push_batch must drain its input");
+            }
+            Op::PopBatch { place, max } => {
+                let place = (place % 2) as usize;
+                let max = (*max % 8) as usize + 1;
+                pop_buf.clear();
+                let got = handles[place].try_pop_batch(&mut pop_buf, max);
+                prop_assert_eq!(got, pop_buf.len());
+                prop_assert!(got <= max);
+                for &payload in &pop_buf {
+                    check_popped(payload, &mut model, &prio_of, relaxation)?;
                 }
             }
         }
@@ -223,6 +267,80 @@ proptest! {
             4,
             Some((RelaxationScope::PerPlace, 4)),
         )?;
+    }
+
+    /// Batch/scalar equivalence: pushing via `push_batch` and draining via
+    /// `try_pop_batch` yields a permutation of the scalar history — and
+    /// with one place, the exact same sorted sequence.
+    #[test]
+    fn batched_ops_are_permutation_of_scalar(
+        prios in proptest::collection::vec(any::<u16>(), 0..150),
+        chunk in 1usize..48,
+        pop_chunk in 1usize..48,
+    ) {
+        fn check<P: TaskPool<u64>>(
+            pool: Arc<P>,
+            prios: &[u16],
+            chunk: usize,
+            pop_chunk: usize,
+        ) -> Result<(), TestCaseError> {
+            // Scalar reference on place 0 of a fresh pool: push + drain.
+            let mut scalar_out = Vec::new();
+            {
+                let mut h = pool.handle(0);
+                for (i, &p) in prios.iter().enumerate() {
+                    h.push(p as u64, 4, ((p as u64) << 32) | i as u64);
+                }
+                while let Some(x) = h.pop() {
+                    scalar_out.push(x >> 32);
+                }
+            }
+            // Batched run on place 1 (same pool, now empty): chunked
+            // push_batch + chunked try_pop_batch.
+            let mut batch_out = Vec::new();
+            {
+                let mut h = pool.handle(1);
+                let mut i = 0u64;
+                for chunk_prios in prios.chunks(chunk) {
+                    let mut batch: Vec<(u64, u64)> = chunk_prios
+                        .iter()
+                        .map(|&p| {
+                            let payload = ((p as u64) << 32) | i;
+                            i += 1;
+                            (p as u64, payload)
+                        })
+                        .collect();
+                    h.push_batch(4, &mut batch);
+                    prop_assert!(batch.is_empty());
+                }
+                let mut buf = Vec::new();
+                loop {
+                    buf.clear();
+                    if h.try_pop_batch(&mut buf, pop_chunk) == 0 {
+                        break;
+                    }
+                    batch_out.extend(buf.iter().map(|x| x >> 32));
+                }
+            }
+            // Both drains saw every task exactly once (permutation) …
+            let mut expect: Vec<u64> = prios.iter().map(|&p| p as u64).collect();
+            expect.sort();
+            let mut scalar_sorted = scalar_out.clone();
+            scalar_sorted.sort();
+            let mut batch_sorted = batch_out.clone();
+            batch_sorted.sort();
+            prop_assert_eq!(&scalar_sorted, &expect);
+            prop_assert_eq!(&batch_sorted, &expect);
+            // … and single-place drains are strictly priority-ordered, so
+            // batched and scalar histories coincide exactly.
+            prop_assert_eq!(&scalar_out, &expect);
+            prop_assert_eq!(&batch_out, &expect);
+            Ok(())
+        }
+        check(Arc::new(PriorityWorkStealing::new(2)), &prios, chunk, pop_chunk)?;
+        check(Arc::new(CentralizedKPriority::new(2, 64)), &prios, chunk, pop_chunk)?;
+        check(Arc::new(HybridKPriority::new(2)), &prios, chunk, pop_chunk)?;
+        check(Arc::new(StructuralKPriority::new(2, 8)), &prios, chunk, pop_chunk)?;
     }
 
     /// Single place: strict priority order for every structure.

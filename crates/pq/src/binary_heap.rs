@@ -175,6 +175,29 @@ impl<T: Ord> SequentialPriorityQueue<T> for BinaryHeap<T> {
     fn drain_unordered(&mut self) -> Vec<T> {
         std::mem::take(&mut self.data)
     }
+
+    /// Bulk insertion with a single invariant repair.
+    ///
+    /// Appends the batch to the backing array, then chooses the cheaper
+    /// repair: per-element sift-up costs O(m log n) and touches only the
+    /// insertion paths, Floyd's heapify costs O(n) regardless of m (the
+    /// crossover lives in [`crate::bulk_repair_prefers_heapify`]); both
+    /// repairs produce a valid heap over the same multiset.
+    fn extend_batch<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        let old = self.data.len();
+        self.data.extend(iter);
+        let n = self.data.len();
+        if n == old {
+            return;
+        }
+        if crate::bulk_repair_prefers_heapify(old, n - old, n) {
+            self.heapify();
+        } else {
+            for i in old..n {
+                self.sift_up(i);
+            }
+        }
+    }
 }
 
 impl<T: Ord> FromIterator<T> for BinaryHeap<T> {

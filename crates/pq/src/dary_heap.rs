@@ -167,6 +167,26 @@ impl<T: Ord, const D: usize> SequentialPriorityQueue<T> for DaryHeap<T, D> {
     fn drain_unordered(&mut self) -> Vec<T> {
         std::mem::take(&mut self.data)
     }
+
+    /// Bulk insertion with a single invariant repair (same policy as
+    /// [`crate::BinaryHeap::extend_batch`], shared through
+    /// [`crate::bulk_repair_prefers_heapify`]: sift-up for small batches,
+    /// Floyd's O(n) heapify once the batch rivals the heap).
+    fn extend_batch<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        let old = self.data.len();
+        self.data.extend(iter);
+        let n = self.data.len();
+        if n == old {
+            return;
+        }
+        if crate::bulk_repair_prefers_heapify(old, n - old, n) {
+            self.heapify();
+        } else {
+            for i in old..n {
+                self.sift_up(i);
+            }
+        }
+    }
 }
 
 impl<T: Ord, const D: usize> FromIterator<T> for DaryHeap<T, D> {

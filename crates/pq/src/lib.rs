@@ -33,6 +33,18 @@ pub mod binary_heap;
 pub mod dary_heap;
 pub mod pairing_heap;
 
+/// Shared bulk-insertion repair policy for the array-backed heaps:
+/// `true` when Floyd's O(n) heapify beats sifting up each of the `added`
+/// elements individually (O(added · log n)). The crossover is
+/// approximated as `added ≥ n / log₂(n)`; an empty original heap always
+/// rebuilds. Kept in one place so the binary and d-ary heaps cannot
+/// silently diverge on the policy.
+pub(crate) fn bulk_repair_prefers_heapify(old: usize, added: usize, n: usize) -> bool {
+    debug_assert_eq!(old + added, n);
+    let log_n = (usize::BITS - n.leading_zeros()).max(1) as usize;
+    old == 0 || added >= n / log_n
+}
+
 pub use binary_heap::BinaryHeap;
 pub use dary_heap::{DaryHeap, QuaternaryHeap};
 pub use pairing_heap::PairingHeap;
@@ -83,6 +95,23 @@ pub trait SequentialPriorityQueue<T: Ord>: Default {
     /// Moves all elements of `other` into `self`, leaving `other` empty.
     fn append(&mut self, other: &mut Self);
 
+    /// Inserts every element of `iter`, repairing the queue invariant once
+    /// per batch instead of once per element.
+    ///
+    /// This is the sequential half of the scheduler's batch API: array
+    /// heaps repair with Floyd's O(n) heapify (or per-element sift-up when
+    /// the batch is small relative to the heap), and the pairing heap melds
+    /// the batch in with a two-pass pairing combine. The default
+    /// implementation falls back to per-element `push`.
+    ///
+    /// Equivalent to `for x in iter { self.push(x) }` up to internal
+    /// layout: the stored multiset and the pop order are identical.
+    fn extend_batch<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+
     /// Drains the queue in an arbitrary order into a vector.
     ///
     /// Primarily for tests and for rebuilding after bulk operations; callers
@@ -109,13 +138,34 @@ mod trait_tests {
         assert_eq!(q.pop(), None);
     }
 
+    fn exercise_extend_batch<Q: SequentialPriorityQueue<i64>>() {
+        let mut q = Q::new();
+        q.push(4);
+        q.extend_batch([9, 0, 7, 2]);
+        q.extend_batch(std::iter::empty());
+        assert_eq!(q.len(), 5);
+        let mut out = Vec::new();
+        while let Some(x) = q.pop() {
+            out.push(x);
+        }
+        assert_eq!(out, vec![0, 2, 4, 7, 9]);
+    }
+
     #[test]
     fn binary_heap_basics() {
         exercise::<BinaryHeap<i64>>();
+        exercise_extend_batch::<BinaryHeap<i64>>();
     }
 
     #[test]
     fn pairing_heap_basics() {
         exercise::<PairingHeap<i64>>();
+        exercise_extend_batch::<PairingHeap<i64>>();
+    }
+
+    #[test]
+    fn dary_heap_basics() {
+        exercise::<QuaternaryHeap<i64>>();
+        exercise_extend_batch::<QuaternaryHeap<i64>>();
     }
 }

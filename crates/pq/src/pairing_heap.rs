@@ -169,6 +169,24 @@ impl<T: Ord> SequentialPriorityQueue<T> for PairingHeap<T> {
     fn drain_unordered(&mut self) -> Vec<T> {
         self.drain_nodes()
     }
+
+    /// Bulk insertion via multi-pass melding: the batch becomes singleton
+    /// heaps, one two-pass pairing combine folds them into a single heap
+    /// (O(m) melds), and one final meld attaches the result to the root —
+    /// versus `m` root melds for scalar pushes, which degrade the root's
+    /// child list and later `pop`s.
+    fn extend_batch<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        let singles: Vec<Node<T>> = iter.into_iter().map(Node::singleton).collect();
+        if singles.is_empty() {
+            return;
+        }
+        self.len += singles.len();
+        let combined = Node::combine(singles).expect("non-empty batch");
+        self.root = Some(match self.root.take() {
+            Some(root) => Node::meld(root, combined),
+            None => combined,
+        });
+    }
 }
 
 impl<T: Ord> FromIterator<T> for PairingHeap<T> {

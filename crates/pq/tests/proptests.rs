@@ -16,6 +16,7 @@ enum Op {
     SplitHalf,
     RetainEven,
     AppendBatch(Vec<i32>),
+    ExtendBatch(Vec<i32>),
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
@@ -25,6 +26,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         1 => Just(Op::SplitHalf),
         1 => Just(Op::RetainEven),
         1 => proptest::collection::vec(any::<i32>(), 0..8).prop_map(Op::AppendBatch),
+        2 => proptest::collection::vec(any::<i32>(), 0..40).prop_map(Op::ExtendBatch),
     ]
 }
 
@@ -83,6 +85,12 @@ fn run_ops<Q: SequentialPriorityQueue<i32>>(ops: &[Op]) {
                     model.push(x);
                 }
                 q.append(&mut other);
+            }
+            Op::ExtendBatch(batch) => {
+                q.extend_batch(batch.iter().copied());
+                for &x in batch {
+                    model.push(x);
+                }
             }
         }
         assert_eq!(q.len(), model.heap.len());
@@ -164,6 +172,76 @@ proptest! {
             if x.is_none() {
                 break;
             }
+        }
+    }
+}
+
+mod batch {
+    use super::*;
+    use priosched_pq::DaryHeap;
+
+    fn batch_equals_scalar<Q: SequentialPriorityQueue<i32>>(
+        init: &[i32],
+        batch: &[i32],
+    ) -> Result<(), TestCaseError> {
+        let mut batched = Q::new();
+        let mut scalar = Q::new();
+        for &x in init {
+            batched.push(x);
+            scalar.push(x);
+        }
+        batched.extend_batch(batch.iter().copied());
+        for &x in batch {
+            scalar.push(x);
+        }
+        prop_assert_eq!(batched.len(), scalar.len());
+        prop_assert_eq!(batched.peek().copied(), scalar.peek().copied());
+        loop {
+            let (a, b) = (batched.pop(), scalar.pop());
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(192))]
+
+        /// `extend_batch` followed by a full drain is indistinguishable
+        /// from the same elements pushed one at a time, in every
+        /// sequential queue implementation.
+        #[test]
+        fn extend_batch_equals_scalar_pushes(
+            init in proptest::collection::vec(any::<i32>(), 0..120),
+            batch in proptest::collection::vec(any::<i32>(), 0..120),
+        ) {
+            batch_equals_scalar::<BinaryHeap<i32>>(&init, &batch)?;
+            batch_equals_scalar::<PairingHeap<i32>>(&init, &batch)?;
+            batch_equals_scalar::<DaryHeap<i32, 4>>(&init, &batch)?;
+            batch_equals_scalar::<DaryHeap<i32, 8>>(&init, &batch)?;
+        }
+
+        /// The structural invariant survives `extend_batch` at every batch
+        /// size, including the heapify/sift-up crossover on both sides.
+        #[test]
+        fn extend_batch_preserves_invariants(
+            init in proptest::collection::vec(any::<i32>(), 0..80),
+            batch in proptest::collection::vec(any::<i32>(), 0..80),
+        ) {
+            let mut bin: BinaryHeap<i32> = init.iter().copied().collect();
+            bin.extend_batch(batch.iter().copied());
+            prop_assert!(bin.is_valid_heap());
+
+            let mut dary: DaryHeap<i32, 4> = init.iter().copied().collect();
+            dary.extend_batch(batch.iter().copied());
+            prop_assert!(dary.is_valid_heap());
+
+            let mut pairing: PairingHeap<i32> = init.iter().copied().collect();
+            pairing.extend_batch(batch.iter().copied());
+            prop_assert!(pairing.is_valid_heap());
+            prop_assert_eq!(pairing.len(), init.len() + batch.len());
         }
     }
 }

@@ -1,0 +1,307 @@
+//! In-tree shim for the subset of `criterion` used by this workspace.
+//!
+//! Offline build: the real crate cannot be fetched, so this implements a
+//! compact wall-clock harness with the same surface — `criterion_group!`,
+//! `criterion_main!`, [`Criterion::benchmark_group`], `bench_function`,
+//! `bench_with_input`, [`Throughput`], [`BenchmarkId`], [`black_box`].
+//!
+//! Differences from real criterion, deliberately accepted:
+//!
+//! * mean ± min/max over `sample_size` samples instead of full statistics
+//!   (no outlier classification, no HTML reports);
+//! * results print as one line per benchmark and can additionally be
+//!   dumped as JSON to the path in `CRITERION_JSON_OUT` (used to record
+//!   committed baselines such as `BENCH_batch.json`);
+//! * a single positional CLI argument acts as a substring filter, and
+//!   `--bench`/`--test`-style flags from cargo are ignored.
+
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One finished measurement, kept for the JSON dump.
+#[derive(Clone, Debug)]
+pub struct Record {
+    /// Benchmark group name.
+    pub group: String,
+    /// Benchmark id within the group.
+    pub id: String,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Fastest sample (ns/iter).
+    pub min_ns: f64,
+    /// Slowest sample (ns/iter).
+    pub max_ns: f64,
+    /// Elements per iteration when a throughput was configured.
+    pub elements: Option<u64>,
+}
+
+fn records() -> &'static Mutex<Vec<Record>> {
+    static RECORDS: OnceLock<Mutex<Vec<Record>>> = OnceLock::new();
+    RECORDS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Throughput hint for per-element rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark id: function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Id from a function name and parameter (rendered as `name/param`).
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Id from a parameter only.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Reads the CLI: flags are ignored, a positional argument becomes a
+    /// substring filter on `group/id`.
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            if arg.starts_with('-') {
+                continue; // cargo-bench plumbing (--bench etc.)
+            }
+            self.filter = Some(arg);
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            throughput: None,
+            filter: self.filter.clone(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    filter: Option<String>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Wall-clock budget for the measurement phase of each benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Declares how much work one iteration performs.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        self.run(&id.to_string(), &mut |b| f(b));
+        self
+    }
+
+    /// Runs one parameterized benchmark.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(&id.to_string(), &mut |b| f(b, input));
+        self
+    }
+
+    /// Closes the group (parity with real criterion; no-op here).
+    pub fn finish(&mut self) {}
+
+    fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Warm-up + calibration: find an iteration count per sample so one
+        // sample costs measurement_time / sample_size.
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let per_iter =
+            bencher.elapsed.max(Duration::from_nanos(1)).as_secs_f64() / bencher.iters as f64;
+        let budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = ((budget / per_iter) as u64).clamp(1, 1_000_000_000);
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters: iters_per_sample,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            samples.push(b.elapsed.as_secs_f64() * 1e9 / b.iters as f64);
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(0.0, f64::max);
+        let elements = match self.throughput {
+            Some(Throughput::Elements(n)) => Some(n),
+            _ => None,
+        };
+        let rate = elements
+            .map(|n| format!("  {:>10.1} Melem/s", n as f64 / mean * 1e3))
+            .unwrap_or_default();
+        println!("bench {full:<55} {mean:>12.1} ns/iter (min {min:.1}, max {max:.1}){rate}");
+        records().lock().unwrap().push(Record {
+            group: self.name.clone(),
+            id: id.to_string(),
+            mean_ns: mean,
+            min_ns: min,
+            max_ns: max,
+            elements,
+        });
+    }
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over this sample's iteration count.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Writes collected records as JSON to `CRITERION_JSON_OUT` (if set).
+/// Called by `criterion_main!` after all groups ran.
+pub fn finalize() {
+    let Ok(path) = std::env::var("CRITERION_JSON_OUT") else {
+        return;
+    };
+    let records = records().lock().unwrap();
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let sep = if i + 1 == records.len() { "" } else { "," };
+        out.push_str(&format!(
+            "  {{\"group\": \"{}\", \"id\": \"{}\", \"mean_ns\": {:.1}, \
+             \"min_ns\": {:.1}, \"max_ns\": {:.1}, \"elements\": {}}}{sep}\n",
+            r.group,
+            r.id,
+            r.mean_ns,
+            r.min_ns,
+            r.max_ns,
+            r.elements
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| "null".into()),
+        ));
+    }
+    out.push_str("]\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("criterion shim: cannot write {path}: {e}");
+    }
+}
+
+/// Bundles benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Expands to `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim_self_test");
+        g.sample_size(3);
+        g.measurement_time(Duration::from_millis(30));
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.bench_with_input(BenchmarkId::new("param", 4), &4u64, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+        let recs = records().lock().unwrap();
+        assert!(recs
+            .iter()
+            .any(|r| r.group == "shim_self_test" && r.id == "noop" && r.mean_ns >= 0.0));
+        assert!(recs.iter().any(|r| r.id == "param/4"));
+    }
+}

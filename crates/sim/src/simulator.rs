@@ -402,7 +402,15 @@ mod invariant_tests {
             p: 0.06,
             seed: 31,
         });
-        let res = simulate_sssp(&g, 0, &SimConfig { p: 8, rho: 0, seed: 2 });
+        let res = simulate_sssp(
+            &g,
+            0,
+            &SimConfig {
+                p: 8,
+                rho: 0,
+                seed: 2,
+            },
+        );
         let mut prev = f64::NEG_INFINITY;
         for ph in &res.phases {
             assert!(
@@ -430,7 +438,15 @@ mod invariant_tests {
             .filter(|d| d.is_finite())
             .count();
         for rho in [0usize, 64, 1024] {
-            let res = simulate_sssp(&g, 0, &SimConfig { p: 12, rho, seed: 3 });
+            let res = simulate_sssp(
+                &g,
+                0,
+                &SimConfig {
+                    p: 12,
+                    rho,
+                    seed: 3,
+                },
+            );
             let settled: usize = res.phases.iter().map(|ph| ph.settled).sum();
             assert_eq!(settled, reachable, "rho={rho}");
         }
@@ -445,7 +461,15 @@ mod invariant_tests {
             p: 0.1,
             seed: 33,
         });
-        let res = simulate_sssp(&g, 0, &SimConfig { p: 6, rho: 16, seed: 4 });
+        let res = simulate_sssp(
+            &g,
+            0,
+            &SimConfig {
+                p: 6,
+                rho: 16,
+                seed: 4,
+            },
+        );
         for ph in &res.phases {
             assert_eq!(ph.dists.len(), ph.relaxed);
             assert!(ph.settled <= ph.relaxed);

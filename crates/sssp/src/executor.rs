@@ -100,7 +100,14 @@ impl<'g> TaskExecutor<SsspTask> for SsspExecutor<'g> {
         self.eliminate_dead && self.dist.load_bits(task.node) != task.dist_bits
     }
 
-    /// Listing 5's `relaxNode`.
+    /// Listing 5's `relaxNode`, with batched spawning: the whole node
+    /// expansion buffers its successful relaxations and stores them with
+    /// one [`SpawnCtx::spawn_batch`] — one pending-counter update and one
+    /// batched data-structure insertion per *node*, instead of one spawn
+    /// per *edge*. The distance CASes still happen edge-by-edge (that is
+    /// the algorithm), so correctness and the useless-work characteristics
+    /// are unchanged: a scalar run would push the same task multiset at
+    /// the same point between pops.
     fn execute(&self, task: SsspTask, ctx: &mut SpawnCtx<'_, SsspTask>) {
         // Re-check under the distance actually stored now; the scheduler's
         // is_dead ran earlier and the value may have improved since.
@@ -111,22 +118,24 @@ impl<'g> TaskExecutor<SsspTask> for SsspExecutor<'g> {
         }
         self.relaxed.fetch_add(1, Ordering::Relaxed);
         let d = f64::from_bits(d_bits);
+        let mut batch = ctx.take_batch_buf();
         for e in self.graph.neighbors(task.node) {
             let new_d = d + e.weight as f64;
             let new_bits = new_d.to_bits();
             // "Check if path through this node is shorter … try to update
             // distance value" — the CAS loop lives in try_decrease.
             if self.dist.try_decrease(e.target, new_bits) {
-                ctx.spawn(
+                batch.push((
                     new_bits, // priority, smaller is better
-                    self.k,
                     SsspTask {
                         node: e.target,
                         dist_bits: new_bits,
                     },
-                );
+                ));
             }
         }
+        ctx.spawn_batch(self.k, &mut batch);
+        ctx.put_batch_buf(batch);
     }
 }
 

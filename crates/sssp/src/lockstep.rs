@@ -60,6 +60,10 @@ where
 
     let mut relaxed = 0u64;
     let mut dead = 0u64;
+    // Reused relaxation buffer: each node expansion batches its successful
+    // relaxations and stores them with one `push_batch` (the same batched
+    // spawn path the threaded executor uses).
+    let mut batch: Vec<(u64, SsspTask)> = Vec::new();
     while pending > 0 {
         for h in handles.iter_mut() {
             let Some(task) = h.pop() else { continue };
@@ -78,17 +82,17 @@ where
                 let nd = d + e.weight as f64;
                 let nb = nd.to_bits();
                 if dist.try_decrease(e.target, nb) {
-                    pending += 1;
-                    h.push(
+                    batch.push((
                         nb,
-                        cfg.k,
                         SsspTask {
                             node: e.target,
                             dist_bits: nb,
                         },
-                    );
+                    ));
                 }
             }
+            pending += batch.len() as u64;
+            h.push_batch(cfg.k, &mut batch);
         }
     }
 

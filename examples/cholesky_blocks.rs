@@ -223,7 +223,6 @@ impl TaskExecutor<Kernel> for Cholesky {
     }
 }
 
-
 // ---- reference + driver ----------------------------------------------------
 
 /// Dense sequential Cholesky of an n×n matrix (row-major, lower output).
