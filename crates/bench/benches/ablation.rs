@@ -65,10 +65,8 @@ fn bench_dead_elimination(c: &mut Criterion) {
     for (name, eliminate) in [("eliminate_on", true), ("eliminate_off", false)] {
         g.bench_function(name, |b| {
             let cfg = SsspConfig {
-                places: 4,
-                k: 512,
-                kmax: 512,
                 eliminate_dead: eliminate,
+                ..SsspConfig::new(4, 512)
             };
             b.iter(|| criterion::black_box(run_sssp_kind(PoolKind::Hybrid, &graph, 0, &cfg)))
         });
@@ -87,12 +85,7 @@ fn bench_structural_vs_hybrid(c: &mut Criterion) {
     g.measurement_time(Duration::from_secs(3));
     for kind in [PoolKind::Hybrid, PoolKind::Structural] {
         g.bench_function(kind.label(), |b| {
-            let cfg = SsspConfig {
-                places: 4,
-                k: 64,
-                kmax: 512,
-                eliminate_dead: true,
-            };
+            let cfg = SsspConfig::new(4, 64);
             b.iter(|| criterion::black_box(run_sssp_kind(kind, &graph, 0, &cfg)))
         });
     }

@@ -8,16 +8,24 @@
 //!
 //! To record a JSON baseline (e.g. the committed `BENCH_batch.json`):
 //! `CRITERION_JSON_OUT=BENCH_batch.json cargo bench --bench ds_throughput -- ds_batch`
+//!
+//! Pools are built through the runtime facade ([`PoolKind::build`]); the
+//! erased handle adds one predictable branch per operation, uniform across
+//! every structure and across the scalar and batch arms, so ratios remain
+//! comparable (absolute numbers shift slightly vs pre-facade baselines).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use priosched_core::{
-    CentralizedKPriority, HybridKPriority, PoolHandle, PriorityWorkStealing, StructuralKPriority,
-    TaskPool,
-};
+use priosched_core::{AnyPool, PoolHandle, PoolKind, PoolParams, TaskPool};
 use std::sync::Arc;
 use std::time::Duration;
 
 const OPS: u64 = 10_000;
+
+/// The shared sweep parameters: k = 64 for the structural prototype's
+/// buffers, the paper's kmax = 512 for the centralized structure.
+fn pool(kind: PoolKind, places: usize) -> Arc<AnyPool<u64>> {
+    Arc::new(kind.build(places, PoolParams::with_k(64)))
+}
 
 #[inline]
 fn prio_of(i: u64) -> u64 {
@@ -25,7 +33,7 @@ fn prio_of(i: u64) -> u64 {
     i.wrapping_mul(0x9E3779B97F4A7C15) >> 32
 }
 
-fn push_pop_cycle<P: TaskPool<u64>>(pool: Arc<P>) {
+fn push_pop_cycle(pool: Arc<AnyPool<u64>>) {
     let mut h = pool.handle(0);
     for i in 0..OPS {
         h.push(prio_of(i), 64, i);
@@ -38,7 +46,7 @@ fn push_pop_cycle<P: TaskPool<u64>>(pool: Arc<P>) {
 }
 
 /// Same workload as [`push_pop_cycle`], but routed through the batch API.
-fn push_pop_cycle_batched<P: TaskPool<u64>>(pool: Arc<P>, batch: usize) {
+fn push_pop_cycle_batched(pool: Arc<AnyPool<u64>>, batch: usize) {
     let mut h = pool.handle(0);
     let mut buf: Vec<(u64, u64)> = Vec::with_capacity(batch);
     let mut i = 0u64;
@@ -68,22 +76,13 @@ fn bench_single_thread(c: &mut Criterion) {
     g.throughput(Throughput::Elements(2 * OPS));
     g.sample_size(10);
     g.measurement_time(Duration::from_secs(2));
-    g.bench_function("work_stealing", |b| {
-        b.iter(|| push_pop_cycle(Arc::new(PriorityWorkStealing::new(1))))
-    });
-    g.bench_function("centralized", |b| {
-        b.iter(|| push_pop_cycle(Arc::new(CentralizedKPriority::with_defaults(1))))
-    });
-    g.bench_function("hybrid", |b| {
-        b.iter(|| push_pop_cycle(Arc::new(HybridKPriority::new(1))))
-    });
-    g.bench_function("structural", |b| {
-        b.iter(|| push_pop_cycle(Arc::new(StructuralKPriority::new(1, 64))))
-    });
+    for kind in PoolKind::ALL {
+        g.bench_function(kind.id(), |b| b.iter(|| push_pop_cycle(pool(kind, 1))));
+    }
     g.finish();
 }
 
-fn contended_cycle<P: TaskPool<u64>>(pool: Arc<P>, threads: usize) {
+fn contended_cycle(pool: Arc<AnyPool<u64>>, threads: usize) {
     let per = OPS / threads as u64;
     std::thread::scope(|s| {
         for t in 0..threads {
@@ -112,7 +111,7 @@ fn contended_cycle<P: TaskPool<u64>>(pool: Arc<P>, threads: usize) {
 /// Contended workload routed through the batch API: each round pushes a
 /// batch and immediately pops up to half of it back (mirroring the
 /// half-interleaved pops of [`contended_cycle`]), then drains in batches.
-fn contended_cycle_batched<P: TaskPool<u64>>(pool: Arc<P>, threads: usize, batch: usize) {
+fn contended_cycle_batched(pool: Arc<AnyPool<u64>>, threads: usize, batch: usize) {
     let per = OPS / threads as u64;
     std::thread::scope(|s| {
         for t in 0..threads {
@@ -153,16 +152,9 @@ fn bench_contended(c: &mut Criterion) {
     g.throughput(Throughput::Elements(2 * OPS));
     g.sample_size(10);
     g.measurement_time(Duration::from_secs(2));
-    for name in ["work_stealing", "centralized", "hybrid", "structural"] {
-        g.bench_with_input(BenchmarkId::new(name, threads), &threads, |b, &t| {
-            b.iter(|| match name {
-                "work_stealing" => contended_cycle(Arc::new(PriorityWorkStealing::new(t)), t),
-                "centralized" => {
-                    contended_cycle(Arc::new(CentralizedKPriority::with_defaults(t)), t)
-                }
-                "hybrid" => contended_cycle(Arc::new(HybridKPriority::new(t)), t),
-                _ => contended_cycle(Arc::new(StructuralKPriority::new(t, 64)), t),
-            })
+    for kind in PoolKind::ALL {
+        g.bench_with_input(BenchmarkId::new(kind.id(), threads), &threads, |b, &t| {
+            b.iter(|| contended_cycle(pool(kind, t), t))
         });
     }
     g.finish();
@@ -177,36 +169,15 @@ fn bench_batch_single_thread(c: &mut Criterion) {
     g.throughput(Throughput::Elements(2 * OPS));
     g.sample_size(10);
     g.measurement_time(Duration::from_secs(2));
-    for name in ["work_stealing", "centralized", "hybrid", "structural"] {
-        g.bench_with_input(BenchmarkId::new(name, "scalar"), &name, |b, &name| {
-            b.iter(|| match name {
-                "work_stealing" => push_pop_cycle(Arc::new(PriorityWorkStealing::new(1))),
-                "centralized" => push_pop_cycle(Arc::new(CentralizedKPriority::with_defaults(1))),
-                "hybrid" => push_pop_cycle(Arc::new(HybridKPriority::new(1))),
-                _ => push_pop_cycle(Arc::new(StructuralKPriority::new(1, 64))),
-            })
+    for kind in PoolKind::ALL {
+        g.bench_with_input(BenchmarkId::new(kind.id(), "scalar"), &kind, |b, &kind| {
+            b.iter(|| push_pop_cycle(pool(kind, 1)))
         });
         for batch in [1usize, 8, 32, 128] {
             g.bench_with_input(
-                BenchmarkId::new(name, format!("batch{batch}")),
+                BenchmarkId::new(kind.id(), format!("batch{batch}")),
                 &batch,
-                |b, &batch| {
-                    b.iter(|| match name {
-                        "work_stealing" => {
-                            push_pop_cycle_batched(Arc::new(PriorityWorkStealing::new(1)), batch)
-                        }
-                        "centralized" => push_pop_cycle_batched(
-                            Arc::new(CentralizedKPriority::with_defaults(1)),
-                            batch,
-                        ),
-                        "hybrid" => {
-                            push_pop_cycle_batched(Arc::new(HybridKPriority::new(1)), batch)
-                        }
-                        _ => {
-                            push_pop_cycle_batched(Arc::new(StructuralKPriority::new(1, 64)), batch)
-                        }
-                    })
-                },
+                |b, &batch| b.iter(|| push_pop_cycle_batched(pool(kind, 1), batch)),
             );
         }
     }
@@ -222,49 +193,17 @@ fn bench_batch_contended(c: &mut Criterion) {
     g.throughput(Throughput::Elements(2 * OPS));
     g.sample_size(10);
     g.measurement_time(Duration::from_secs(2));
-    for name in ["work_stealing", "centralized", "hybrid", "structural"] {
+    for kind in PoolKind::ALL {
         g.bench_with_input(
-            BenchmarkId::new(name, format!("scalar_t{threads}")),
+            BenchmarkId::new(kind.id(), format!("scalar_t{threads}")),
             &threads,
-            |b, &t| {
-                b.iter(|| match name {
-                    "work_stealing" => contended_cycle(Arc::new(PriorityWorkStealing::new(t)), t),
-                    "centralized" => {
-                        contended_cycle(Arc::new(CentralizedKPriority::with_defaults(t)), t)
-                    }
-                    "hybrid" => contended_cycle(Arc::new(HybridKPriority::new(t)), t),
-                    _ => contended_cycle(Arc::new(StructuralKPriority::new(t, 64)), t),
-                })
-            },
+            |b, &t| b.iter(|| contended_cycle(pool(kind, t), t)),
         );
         for batch in [8usize, 32, 128] {
             g.bench_with_input(
-                BenchmarkId::new(name, format!("batch{batch}_t{threads}")),
+                BenchmarkId::new(kind.id(), format!("batch{batch}_t{threads}")),
                 &batch,
-                |b, &batch| {
-                    b.iter(|| match name {
-                        "work_stealing" => contended_cycle_batched(
-                            Arc::new(PriorityWorkStealing::new(threads)),
-                            threads,
-                            batch,
-                        ),
-                        "centralized" => contended_cycle_batched(
-                            Arc::new(CentralizedKPriority::with_defaults(threads)),
-                            threads,
-                            batch,
-                        ),
-                        "hybrid" => contended_cycle_batched(
-                            Arc::new(HybridKPriority::new(threads)),
-                            threads,
-                            batch,
-                        ),
-                        _ => contended_cycle_batched(
-                            Arc::new(StructuralKPriority::new(threads, 64)),
-                            threads,
-                            batch,
-                        ),
-                    })
-                },
+                |b, &batch| b.iter(|| contended_cycle_batched(pool(kind, threads), threads, batch)),
             );
         }
     }

@@ -28,12 +28,7 @@ fn bench_fig4(c: &mut Criterion) {
                 BenchmarkId::new(kind.label(), places),
                 &places,
                 |b, &places| {
-                    let cfg = SsspConfig {
-                        places,
-                        k: 512,
-                        kmax: 512,
-                        eliminate_dead: true,
-                    };
+                    let cfg = SsspConfig::new(places, 512);
                     b.iter(|| criterion::black_box(run_sssp_kind(kind, &graph, 0, &cfg)))
                 },
             );

@@ -21,12 +21,7 @@ fn bench_fig5(c: &mut Criterion) {
     for kind in [PoolKind::Centralized, PoolKind::Hybrid] {
         for k in [1usize, 32, 512, 8192] {
             g.bench_with_input(BenchmarkId::new(kind.label(), k), &k, |b, &k| {
-                let cfg = SsspConfig {
-                    places: 4,
-                    k,
-                    kmax: 512,
-                    eliminate_dead: true,
-                };
+                let cfg = SsspConfig::new(4, k).kmax(512);
                 b.iter(|| criterion::black_box(run_sssp_kind(kind, &graph, 0, &cfg)))
             });
         }

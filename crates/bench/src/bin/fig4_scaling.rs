@@ -48,12 +48,7 @@ fn main() {
             let mut relaxed = Vec::new();
             let mut dead = Vec::new();
             for g in &graphs {
-                let sssp_cfg = SsspConfig {
-                    places,
-                    k,
-                    kmax: 512,
-                    eliminate_dead: true,
-                };
+                let sssp_cfg = SsspConfig::new(places, k);
                 let timed = run_sssp_kind(kind, g, 0, &sssp_cfg);
                 times.push(timed.elapsed.as_secs_f64());
                 let ordered = run_sssp_lockstep_kind(kind, g, 0, &sssp_cfg);

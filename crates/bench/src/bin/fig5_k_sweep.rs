@@ -29,12 +29,7 @@ fn main() {
         let mut times = Vec::new();
         let mut relaxed = Vec::new();
         for g in &graphs {
-            let ws_cfg = SsspConfig {
-                places,
-                k: 0,
-                kmax: 512,
-                eliminate_dead: true,
-            };
+            let ws_cfg = SsspConfig::new(places, 0);
             let timed = run_sssp_kind(PoolKind::WorkStealing, g, 0, &ws_cfg);
             times.push(timed.elapsed.as_secs_f64());
             let ordered = run_sssp_lockstep_kind(PoolKind::WorkStealing, g, 0, &ws_cfg);
@@ -57,15 +52,11 @@ fn main() {
             let mut times = Vec::new();
             let mut relaxed = Vec::new();
             for g in &graphs {
-                // kmax must admit the swept k (the structure clamps k to
-                // kmax); the paper's fixed kmax = 512 applies to its other
-                // experiments, while Figure 5 exercises k beyond it.
-                let k_cfg = SsspConfig {
-                    places,
-                    k,
-                    kmax: (k as u32).max(512),
-                    eliminate_dead: true,
-                };
+                // SsspConfig::new widens kmax to admit the swept k (the
+                // structure clamps k to kmax); the paper's fixed kmax = 512
+                // applies to its other experiments, while Figure 5
+                // exercises k beyond it.
+                let k_cfg = SsspConfig::new(places, k);
                 let timed = run_sssp_kind(kind, g, 0, &k_cfg);
                 times.push(timed.elapsed.as_secs_f64());
                 let ordered = run_sssp_lockstep_kind(kind, g, 0, &k_cfg);

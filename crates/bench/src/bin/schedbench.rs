@@ -1,0 +1,257 @@
+//! schedbench — the unified workload harness.
+//!
+//! Sweeps workload × structure × places × k × spawn-chunk, verifies **every
+//! run** against the workload's sequential oracle, and emits records in the
+//! committed `BENCH_*.json` format (`group`/`id`/`mean_ns`/`min_ns`/
+//! `max_ns`/`elements`), so baselines like `BENCH_workloads.json` are
+//! regenerable with one command instead of being one-off artifacts.
+//!
+//! ```text
+//! schedbench [--smoke] [--workloads sssp,cholesky,knapsack,mo_sssp]
+//!            [--kinds work_stealing,centralized,hybrid,structural]
+//!            [--places 1,2,4] [--k 512] [--chunks 0] [--reps 3]
+//!            [--out FILE.json]
+//! ```
+//!
+//! * `--smoke` shrinks every instance and runs one rep — the CI job that
+//!   keeps example-derived workloads from rotting.
+//! * `--chunks` sweeps the spawn-batch chunk bound for the workloads that
+//!   batch their spawns (sssp, mo_sssp); `0` = one batch per expansion.
+//! * Any oracle mismatch aborts with a nonzero exit code.
+
+use priosched_core::{PoolKind, PoolParams};
+use priosched_workloads::{
+    bench_record, CholeskyWorkload, DynWorkload, KnapsackWorkload, MoSsspWorkload, SsspWorkload,
+    WorkloadReport,
+};
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Workload names in sweep order.
+const WORKLOADS: [&str; 4] = ["sssp", "cholesky", "knapsack", "mo_sssp"];
+
+struct Args {
+    smoke: bool,
+    workloads: Vec<String>,
+    kinds: Vec<PoolKind>,
+    places: Vec<usize>,
+    ks: Vec<usize>,
+    chunks: Vec<usize>,
+    reps: usize,
+    out: Option<PathBuf>,
+}
+
+fn parse_list<T: std::str::FromStr>(flag: &str, value: &str) -> Vec<T>
+where
+    T::Err: std::fmt::Display,
+{
+    value
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.trim()
+                .parse()
+                .unwrap_or_else(|e| panic!("{flag}: bad element {s:?}: {e}"))
+        })
+        .collect()
+}
+
+impl Args {
+    fn from_env() -> Self {
+        let mut cfg = Args {
+            smoke: false,
+            workloads: WORKLOADS.iter().map(|s| s.to_string()).collect(),
+            kinds: PoolKind::ALL.to_vec(),
+            places: vec![1, 2, 4],
+            ks: vec![512],
+            chunks: vec![0],
+            reps: 3,
+            out: None,
+        };
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        // Apply --smoke defaults first, wherever the flag appears, so an
+        // explicit --places/--k/--reps always wins regardless of order.
+        if argv.iter().any(|a| a == "--smoke") {
+            cfg.smoke = true;
+            cfg.places = vec![1, 2];
+            cfg.ks = vec![64];
+            cfg.reps = 1;
+        }
+        let mut args = argv.into_iter();
+        while let Some(arg) = args.next() {
+            let mut take = |name: &str| -> String {
+                args.next()
+                    .unwrap_or_else(|| panic!("{name} requires a value"))
+            };
+            match arg.as_str() {
+                "--smoke" => {}
+                "--workloads" => {
+                    cfg.workloads = parse_list::<String>("--workloads", &take("--workloads"));
+                    for w in &cfg.workloads {
+                        assert!(
+                            WORKLOADS.contains(&w.as_str()),
+                            "unknown workload {w:?} (expected one of {WORKLOADS:?})"
+                        );
+                    }
+                }
+                "--kinds" => cfg.kinds = parse_list("--kinds", &take("--kinds")),
+                "--places" => cfg.places = parse_list("--places", &take("--places")),
+                "--k" => cfg.ks = parse_list("--k", &take("--k")),
+                "--chunks" => cfg.chunks = parse_list("--chunks", &take("--chunks")),
+                "--reps" => cfg.reps = take("--reps").parse().expect("--reps wants an integer"),
+                "--out" => cfg.out = Some(PathBuf::from(take("--out"))),
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --smoke | --workloads LIST | --kinds LIST | --places LIST \
+                         | --k LIST | --chunks LIST | --reps N | --out FILE"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag {other}; try --help"),
+            }
+        }
+        assert!(cfg.reps > 0, "--reps must be positive");
+        cfg
+    }
+}
+
+/// Builds one workload instance. `chunk` configures spawn batching where
+/// the workload supports it; returns `None` when `chunk` is not applicable
+/// (so the sweep produces no duplicate rows for scalar-spawning workloads).
+fn make_workload(name: &str, smoke: bool, chunk: usize) -> Option<Box<dyn DynWorkload>> {
+    match name {
+        "sssp" => Some(Box::new(if smoke {
+            SsspWorkload::random(120, 0.1, 1000).spawn_chunk(chunk)
+        } else {
+            SsspWorkload::random(800, 0.08, 1000).spawn_chunk(chunk)
+        })),
+        "mo_sssp" => Some(Box::new(if smoke {
+            MoSsspWorkload::random(30, 0.15, 99).spawn_chunk(chunk)
+        } else {
+            MoSsspWorkload::random(60, 0.12, 99).spawn_chunk(chunk)
+        })),
+        // Cholesky and knapsack spawn scalar tasks (one child per retired
+        // dependency / branch); the chunk axis does not apply.
+        "cholesky" if chunk == 0 => Some(Box::new(if smoke {
+            CholeskyWorkload::random(3, 8, 0xFEED_FACE)
+        } else {
+            CholeskyWorkload::random(6, 16, 0xFEED_FACE)
+        })),
+        "knapsack" if chunk == 0 => Some(Box::new(if smoke {
+            KnapsackWorkload::random(18, 1_500, 0x1234_5678_9ABC_DEF0)
+        } else {
+            KnapsackWorkload::random(30, 3_000, 0x1234_5678_9ABC_DEF0)
+        })),
+        _ => None,
+    }
+}
+
+/// One aggregated sweep cell in the `BENCH_batch.json` record format
+/// (the shape itself is defined once, in `priosched_workloads`).
+fn json_record(reports: &[WorkloadReport], chunk: usize) -> String {
+    let chunk_tag = if chunk > 0 {
+        format!("_c{chunk}")
+    } else {
+        String::new()
+    };
+    bench_record(reports, &chunk_tag)
+}
+
+fn main() {
+    let args = Args::from_env();
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    println!(
+        "schedbench: {} workload(s) × {} kind(s) × places {:?} × k {:?} × chunks {:?}, {} rep(s)",
+        args.workloads.len(),
+        args.kinds.len(),
+        args.places,
+        args.ks,
+        args.chunks,
+        args.reps
+    );
+    println!(
+        "host: {cores} hardware thread(s){}\n",
+        if args.smoke { "; smoke sizes" } else { "" }
+    );
+    println!(
+        "{:<10} {:<14} {:>2} {:>6} {:>6} | {:>11} {:>9} {:>7}  oracle",
+        "workload", "structure", "P", "k", "chunk", "mean", "tasks", "dead"
+    );
+
+    let mut records = Vec::new();
+    let mut failures = 0usize;
+    for name in &args.workloads {
+        let mut cells_for_workload = 0usize;
+        for &chunk in &args.chunks {
+            let Some(workload) = make_workload(name, args.smoke, chunk) else {
+                // Scalar-spawning workloads have no chunk axis; skipping a
+                // nonzero chunk is only fine if some other cell runs them.
+                continue;
+            };
+            cells_for_workload += 1;
+            for &kind in &args.kinds {
+                for &places in &args.places {
+                    for &k in &args.ks {
+                        let params = PoolParams::with_k(k);
+                        let reports: Vec<WorkloadReport> = (0..args.reps)
+                            .map(|_| workload.run(kind, places, params))
+                            .collect();
+                        let mean_ms = reports
+                            .iter()
+                            .map(|r| r.elapsed.as_secs_f64() * 1e3)
+                            .sum::<f64>()
+                            / reports.len() as f64;
+                        let bad = reports.iter().find(|r| !r.verified());
+                        println!(
+                            "{:<10} {:<14} {:>2} {:>6} {:>6} | {:>9.3}ms {:>9} {:>7}  {}",
+                            name,
+                            kind.label(),
+                            places,
+                            k,
+                            chunk,
+                            mean_ms,
+                            reports[0].executed,
+                            reports[0].dead,
+                            match bad {
+                                None => "ok".to_string(),
+                                Some(r) => format!("MISMATCH: {}", r.verify.as_ref().unwrap_err()),
+                            }
+                        );
+                        if bad.is_some() {
+                            failures += 1;
+                        }
+                        records.push(json_record(&reports, chunk));
+                    }
+                }
+            }
+        }
+        assert!(
+            cells_for_workload > 0,
+            "workload {name:?} was requested but no chunk in {:?} applies to it \
+             (scalar-spawning workloads only run at chunk 0)",
+            args.chunks
+        );
+    }
+
+    if let Some(path) = &args.out {
+        let mut f = std::fs::File::create(path).expect("create --out file");
+        writeln!(f, "[").unwrap();
+        for (i, rec) in records.iter().enumerate() {
+            let comma = if i + 1 < records.len() { "," } else { "" };
+            writeln!(f, "  {rec}{comma}").unwrap();
+        }
+        writeln!(f, "]").unwrap();
+        println!("\nJSON: {} ({} records)", path.display(), records.len());
+    }
+
+    if failures > 0 {
+        eprintln!("\n{failures} sweep cell(s) FAILED oracle verification");
+        std::process::exit(1);
+    }
+    println!(
+        "\nall {} sweep cells verified against their oracles",
+        records.len()
+    );
+}

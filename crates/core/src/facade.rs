@@ -1,0 +1,382 @@
+//! Runtime pool construction — the one place a [`PoolKind`] becomes a pool.
+//!
+//! Harnesses, examples, and tests all want the same thing: "give me a pool
+//! of *this* kind for *P* places with *these* parameters". Before this
+//! module, every one of them carried its own four-arm `match PoolKind`
+//! block; now they either
+//!
+//! * call [`run_on_kind`] (or [`PoolBuilder::run`]) when they just want to
+//!   schedule an executor — dispatch happens **once**, before the run, and
+//!   the whole scheduling loop stays monomorphized per structure exactly as
+//!   if the concrete type had been named; or
+//! * call [`PoolKind::build`] / [`PoolBuilder::build`] when they need to
+//!   drive place handles themselves (lockstep runners, throughput benches)
+//!   and receive an [`AnyPool`] — a thin enum over the four structures
+//!   whose [`PoolHandle`] forwards every operation, including the batched
+//!   ones, to the wrapped handle. The per-operation cost is one predictable
+//!   branch.
+//!
+//! Construction semantics are fixed here once: the centralized structure
+//! consumes [`PoolParams::kmax`], the structural prototype consumes
+//! [`PoolParams::k`], and the other two take only the place count — a
+//! caller can no longer forget one of those knobs (which is exactly how
+//! `kmax` used to silently default in hand-rolled match blocks).
+
+use crate::centralized::{CentralizedHandle, CentralizedKPriority};
+use crate::hybrid::{HybridHandle, HybridKPriority};
+use crate::pool::{PoolHandle, PoolKind, PoolParams, TaskPool};
+use crate::scheduler::{RunStats, Scheduler, TaskExecutor};
+use crate::stats::PlaceStats;
+use crate::structural::{StructuralHandle, StructuralKPriority};
+use crate::workstealing::{PriorityWorkStealing, WorkStealingHandle};
+use std::sync::Arc;
+
+/// A [`TaskPool`] of any of the four structures, selected at runtime.
+///
+/// Obtained from [`PoolKind::build`]. Useful when the caller needs the pool
+/// itself (handle-level drivers); when the pool is only scheduled over,
+/// prefer [`run_on_kind`], which never erases the type at all.
+pub enum AnyPool<T: Send + 'static> {
+    /// §3.1 work-stealing.
+    WorkStealing(Arc<PriorityWorkStealing<T>>),
+    /// §3.2/§4.1 centralized k-priority.
+    Centralized(Arc<CentralizedKPriority<T>>),
+    /// §3.3/§4.2 hybrid k-priority.
+    Hybrid(Arc<HybridKPriority<T>>),
+    /// §5.3 structural prototype.
+    Structural(Arc<StructuralKPriority<T>>),
+}
+
+impl<T: Send + 'static> AnyPool<T> {
+    /// The kind this pool was built as.
+    pub fn kind(&self) -> PoolKind {
+        match self {
+            AnyPool::WorkStealing(_) => PoolKind::WorkStealing,
+            AnyPool::Centralized(_) => PoolKind::Centralized,
+            AnyPool::Hybrid(_) => PoolKind::Hybrid,
+            AnyPool::Structural(_) => PoolKind::Structural,
+        }
+    }
+}
+
+/// One place's view of an [`AnyPool`]; forwards every operation — scalar
+/// and batched — to the wrapped concrete handle.
+pub enum AnyHandle<T: Send + 'static> {
+    /// Handle of [`PriorityWorkStealing`].
+    WorkStealing(WorkStealingHandle<T>),
+    /// Handle of [`CentralizedKPriority`].
+    Centralized(CentralizedHandle<T>),
+    /// Handle of [`HybridKPriority`].
+    Hybrid(HybridHandle<T>),
+    /// Handle of [`StructuralKPriority`].
+    Structural(StructuralHandle<T>),
+}
+
+impl<T: Send + 'static> TaskPool<T> for AnyPool<T> {
+    type Handle = AnyHandle<T>;
+
+    fn num_places(&self) -> usize {
+        match self {
+            AnyPool::WorkStealing(p) => p.num_places(),
+            AnyPool::Centralized(p) => p.num_places(),
+            AnyPool::Hybrid(p) => p.num_places(),
+            AnyPool::Structural(p) => p.num_places(),
+        }
+    }
+
+    fn handle(self: &Arc<Self>, place: usize) -> AnyHandle<T> {
+        match &**self {
+            AnyPool::WorkStealing(p) => AnyHandle::WorkStealing(p.handle(place)),
+            AnyPool::Centralized(p) => AnyHandle::Centralized(p.handle(place)),
+            AnyPool::Hybrid(p) => AnyHandle::Hybrid(p.handle(place)),
+            AnyPool::Structural(p) => AnyHandle::Structural(p.handle(place)),
+        }
+    }
+}
+
+impl<T: Send + 'static> PoolHandle<T> for AnyHandle<T> {
+    fn push(&mut self, prio: u64, k: usize, task: T) {
+        match self {
+            AnyHandle::WorkStealing(h) => h.push(prio, k, task),
+            AnyHandle::Centralized(h) => h.push(prio, k, task),
+            AnyHandle::Hybrid(h) => h.push(prio, k, task),
+            AnyHandle::Structural(h) => h.push(prio, k, task),
+        }
+    }
+
+    fn pop(&mut self) -> Option<T> {
+        match self {
+            AnyHandle::WorkStealing(h) => h.pop(),
+            AnyHandle::Centralized(h) => h.pop(),
+            AnyHandle::Hybrid(h) => h.pop(),
+            AnyHandle::Structural(h) => h.pop(),
+        }
+    }
+
+    fn push_batch(&mut self, k: usize, batch: &mut Vec<(u64, T)>) {
+        match self {
+            AnyHandle::WorkStealing(h) => h.push_batch(k, batch),
+            AnyHandle::Centralized(h) => h.push_batch(k, batch),
+            AnyHandle::Hybrid(h) => h.push_batch(k, batch),
+            AnyHandle::Structural(h) => h.push_batch(k, batch),
+        }
+    }
+
+    fn try_pop_batch(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        match self {
+            AnyHandle::WorkStealing(h) => h.try_pop_batch(out, max),
+            AnyHandle::Centralized(h) => h.try_pop_batch(out, max),
+            AnyHandle::Hybrid(h) => h.try_pop_batch(out, max),
+            AnyHandle::Structural(h) => h.try_pop_batch(out, max),
+        }
+    }
+
+    fn stats(&self) -> PlaceStats {
+        match self {
+            AnyHandle::WorkStealing(h) => h.stats(),
+            AnyHandle::Centralized(h) => h.stats(),
+            AnyHandle::Hybrid(h) => h.stats(),
+            AnyHandle::Structural(h) => h.stats(),
+        }
+    }
+}
+
+impl PoolKind {
+    /// Builds a pool of this kind for `places` places.
+    ///
+    /// The parameter routing is the contract: `params.kmax` configures the
+    /// centralized structure, `params.k` the structural prototype;
+    /// work-stealing and hybrid take only the place count (their relaxation
+    /// behaviour is governed by the per-task `k` of each push).
+    pub fn build<T: Send + 'static>(self, places: usize, params: PoolParams) -> AnyPool<T> {
+        match self {
+            PoolKind::WorkStealing => {
+                AnyPool::WorkStealing(Arc::new(PriorityWorkStealing::new(places)))
+            }
+            PoolKind::Centralized => {
+                AnyPool::Centralized(Arc::new(CentralizedKPriority::new(places, params.kmax)))
+            }
+            PoolKind::Hybrid => AnyPool::Hybrid(Arc::new(HybridKPriority::new(places))),
+            PoolKind::Structural => {
+                AnyPool::Structural(Arc::new(StructuralKPriority::new(places, params.k)))
+            }
+        }
+    }
+}
+
+/// Runs `executor` over `roots` on a freshly built pool of `kind`.
+///
+/// Dispatch happens once, here: each arm monomorphizes
+/// [`Scheduler::run`] against the concrete structure, so the scheduling
+/// loop's codegen is identical to naming the type by hand — wall-clock
+/// measurements through this helper are comparable with older harnesses
+/// that carried their own match blocks.
+pub fn run_on_kind<T, E>(
+    kind: PoolKind,
+    places: usize,
+    params: PoolParams,
+    executor: &E,
+    roots: Vec<(u64, usize, T)>,
+) -> RunStats
+where
+    T: Send + 'static,
+    E: TaskExecutor<T>,
+{
+    match kind {
+        PoolKind::WorkStealing => {
+            Scheduler::from_pool(PriorityWorkStealing::new(places)).run(executor, roots)
+        }
+        PoolKind::Centralized => {
+            Scheduler::from_pool(CentralizedKPriority::new(places, params.kmax))
+                .run(executor, roots)
+        }
+        PoolKind::Hybrid => Scheduler::from_pool(HybridKPriority::new(places)).run(executor, roots),
+        PoolKind::Structural => {
+            Scheduler::from_pool(StructuralKPriority::new(places, params.k)).run(executor, roots)
+        }
+    }
+}
+
+/// Fluent front door over [`PoolKind::build`] / [`run_on_kind`].
+///
+/// ```
+/// use priosched_core::{PoolBuilder, PoolHandle, PoolKind, TaskPool};
+///
+/// let pool = PoolBuilder::new(PoolKind::Centralized)
+///     .places(2)
+///     .k(64)
+///     .build::<u64>();
+/// let mut h = pool.handle(0);
+/// h.push(7, 64, 7);
+/// assert_eq!(h.pop(), Some(7));
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct PoolBuilder {
+    kind: PoolKind,
+    places: usize,
+    params: PoolParams,
+}
+
+impl PoolBuilder {
+    /// Starts a builder for `kind` with one place and default parameters.
+    pub fn new(kind: PoolKind) -> Self {
+        PoolBuilder {
+            kind,
+            places: 1,
+            params: PoolParams::default(),
+        }
+    }
+
+    /// Sets the place count.
+    pub fn places(mut self, places: usize) -> Self {
+        self.places = places;
+        self
+    }
+
+    /// Sets the relaxation bound `k`, raising `kmax` only if it would
+    /// otherwise clamp `k` — an explicitly pinned [`PoolBuilder::kmax`] or
+    /// [`PoolBuilder::params`] survives regardless of call order.
+    pub fn k(mut self, k: usize) -> Self {
+        self.params.k = k;
+        self.params.kmax = self.params.kmax.max(k.min(u32::MAX as usize) as u32);
+        self
+    }
+
+    /// Overrides `kmax` for the centralized structure.
+    pub fn kmax(mut self, kmax: u32) -> Self {
+        self.params.kmax = kmax;
+        self
+    }
+
+    /// Replaces the whole parameter set.
+    pub fn params(mut self, params: PoolParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// The configured parameter set.
+    pub fn pool_params(&self) -> PoolParams {
+        self.params
+    }
+
+    /// Builds the type-erased pool, shared and ready for handles.
+    pub fn build<T: Send + 'static>(&self) -> Arc<AnyPool<T>> {
+        Arc::new(self.kind.build(self.places, self.params))
+    }
+
+    /// Schedules `executor` over `roots` on a fresh pool (monomorphized via
+    /// [`run_on_kind`]).
+    pub fn run<T, E>(&self, executor: &E, roots: Vec<(u64, usize, T)>) -> RunStats
+    where
+        T: Send + 'static,
+        E: TaskExecutor<T>,
+    {
+        run_on_kind(self.kind, self.places, self.params, executor, roots)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::SpawnCtx;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn build_produces_matching_kind_and_places() {
+        for kind in PoolKind::ALL {
+            let pool: Arc<AnyPool<u64>> = Arc::new(kind.build(3, PoolParams::default()));
+            assert_eq!(pool.kind(), kind);
+            assert_eq!(pool.num_places(), 3);
+        }
+    }
+
+    #[test]
+    fn any_handle_round_trips_scalar_and_batch() {
+        for kind in PoolKind::ALL {
+            let pool: Arc<AnyPool<u64>> = PoolBuilder::new(kind).places(1).k(16).build();
+            let mut h = pool.handle(0);
+            h.push(5, 16, 5);
+            let mut batch = vec![(1u64, 1u64), (9, 9), (3, 3)];
+            h.push_batch(16, &mut batch);
+            assert!(batch.is_empty(), "{kind}: push_batch must drain");
+            let mut out = Vec::new();
+            let mut got = 0;
+            loop {
+                let n = h.try_pop_batch(&mut out, 2);
+                if n == 0 {
+                    break;
+                }
+                got += n;
+            }
+            assert_eq!(got, 4, "{kind}");
+            out.sort();
+            assert_eq!(out, vec![1, 3, 5, 9], "{kind}");
+            assert_eq!(h.stats().pushes, 4, "{kind}");
+        }
+    }
+
+    struct CountDown(AtomicU64);
+    impl TaskExecutor<u64> for CountDown {
+        fn execute(&self, task: u64, ctx: &mut SpawnCtx<'_, u64>) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+            if task > 0 {
+                ctx.spawn(task - 1, 8, task - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn run_on_kind_schedules_every_structure() {
+        for kind in PoolKind::ALL {
+            for places in [1usize, 2] {
+                let exec = CountDown(AtomicU64::new(0));
+                let stats = run_on_kind(
+                    kind,
+                    places,
+                    PoolParams::with_k(8),
+                    &exec,
+                    vec![(10, 8, 10u64)],
+                );
+                assert_eq!(stats.executed, 11, "{kind} places={places}");
+                assert_eq!(exec.0.load(Ordering::Relaxed), 11);
+            }
+        }
+    }
+
+    #[test]
+    fn builder_k_respects_pinned_kmax_in_any_order() {
+        // An explicit kmax survives a later .k() that it still admits…
+        let b = PoolBuilder::new(PoolKind::Centralized).kmax(64).k(8);
+        assert_eq!(b.pool_params(), PoolParams { k: 8, kmax: 64 });
+        // …but .k() raises kmax when it would otherwise clamp.
+        let b = PoolBuilder::new(PoolKind::Centralized).kmax(64).k(8192);
+        assert_eq!(
+            b.pool_params(),
+            PoolParams {
+                k: 8192,
+                kmax: 8192
+            }
+        );
+        // .params() is preserved by a later .k().
+        let custom = PoolParams { k: 1, kmax: 99 };
+        let b = PoolBuilder::new(PoolKind::Hybrid).params(custom).k(8);
+        assert_eq!(b.pool_params(), PoolParams { k: 8, kmax: 99 });
+    }
+
+    #[test]
+    fn builder_run_matches_direct_run() {
+        let exec = CountDown(AtomicU64::new(0));
+        let stats = PoolBuilder::new(PoolKind::Hybrid)
+            .places(2)
+            .k(4)
+            .run(&exec, vec![(6, 4, 6u64)]);
+        assert_eq!(stats.executed, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn any_pool_propagates_handle_range_panics() {
+        let pool: Arc<AnyPool<u64>> = PoolBuilder::new(PoolKind::Structural).places(2).build();
+        let _ = pool.handle(5);
+    }
+}

@@ -87,8 +87,35 @@
 //!   `tests/proptests.rs`), and under concurrency tasks pushed while a
 //!   batch drains are simply "newer than the batch", the same window a
 //!   scalar pop exposes between its scan and its take-CAS.
+//!
+//! # Runtime structure selection
+//!
+//! [`PoolKind`] names the four structures; the [`facade`] module is the
+//! single place a kind becomes a pool. [`run_on_kind`] schedules an
+//! executor on a freshly built pool with **one** dispatch before the run
+//! (the scheduling loop stays monomorphized per structure);
+//! [`PoolKind::build`] / [`PoolBuilder`] return a type-erased [`AnyPool`]
+//! for callers that drive place handles themselves. Construction knobs
+//! travel in [`PoolParams`] (`k` for the structural prototype, `kmax` for
+//! the centralized structure), so sweeping harnesses cannot silently drop
+//! one.
+//!
+//! # Workloads
+//!
+//! The scheduler is application-agnostic: anything that implements
+//! [`scheduler::TaskExecutor`] can run on any structure. The
+//! `priosched-workloads` crate packages the repo's evaluation scenarios —
+//! SSSP (the paper's §5 application), tile-Cholesky DAG factorization,
+//! best-first branch-and-bound knapsack, and bi-objective shortest paths —
+//! behind a `Workload` trait (config → seed tasks → executor → sequential
+//! oracle → structured report). Every workload verifies each run against
+//! its oracle, and the `schedbench` binary in `priosched-bench` sweeps
+//! workload × [`PoolKind`] × places × k. New scenarios plug in by
+//! implementing that trait; this crate deliberately knows nothing about
+//! them beyond the [`scheduler::TaskExecutor`] contract.
 
 pub mod centralized;
+pub mod facade;
 pub mod garray;
 pub mod hybrid;
 pub mod item;
@@ -102,8 +129,9 @@ pub(crate) mod util;
 pub mod workstealing;
 
 pub use centralized::CentralizedKPriority;
+pub use facade::{run_on_kind, AnyHandle, AnyPool, PoolBuilder};
 pub use hybrid::HybridKPriority;
-pub use pool::{PoolHandle, PoolKind, TaskPool};
+pub use pool::{PoolHandle, PoolKind, PoolParams, TaskPool};
 pub use scheduler::{RunStats, Scheduler, SpawnCtx, TaskExecutor};
 pub use structural::StructuralKPriority;
 pub use workstealing::PriorityWorkStealing;

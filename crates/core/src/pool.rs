@@ -100,6 +100,51 @@ pub trait PoolHandle<T: Send>: Send {
     fn stats(&self) -> PlaceStats;
 }
 
+/// Structure-tuning parameters shared by every pool-construction site.
+///
+/// Collects the knobs that used to be threaded separately through each
+/// harness config (`kmax` for the centralized structure, construction-time
+/// `k` for the structural prototype), so a runtime-selected build — see
+/// [`PoolKind::build`] — cannot silently drop one of them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PoolParams {
+    /// Relaxation parameter `k` (§2.2): the per-task bound spawners pass
+    /// with every push, and the per-place buffer bound the structural
+    /// prototype fixes at construction.
+    pub k: usize,
+    /// `kmax` for the centralized structure (paper: 512); per-task `k`
+    /// values are clamped to it.
+    pub kmax: u32,
+}
+
+/// The paper's default relaxation parameter (k = 512, found to be a good
+/// compromise on the 80-core testbed).
+pub const DEFAULT_K: usize = 512;
+
+/// The paper's `kmax` for the centralized structure.
+pub const DEFAULT_KMAX: u32 = 512;
+
+impl Default for PoolParams {
+    fn default() -> Self {
+        PoolParams {
+            k: DEFAULT_K,
+            kmax: DEFAULT_KMAX,
+        }
+    }
+}
+
+impl PoolParams {
+    /// Parameters for relaxation bound `k`, with `kmax` widened so the
+    /// centralized structure admits the requested `k` (Figure 5 sweeps `k`
+    /// beyond the paper's fixed `kmax = 512`, which would otherwise clamp).
+    pub fn with_k(k: usize) -> Self {
+        PoolParams {
+            k,
+            kmax: (k.min(u32::MAX as usize) as u32).max(DEFAULT_KMAX),
+        }
+    }
+}
+
 /// Runtime-selectable structure kind, used by the figure harness and
 /// examples to sweep over data structures.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -123,6 +168,16 @@ impl PoolKind {
         PoolKind::Hybrid,
     ];
 
+    /// Every structure in the crate, including the structural prototype —
+    /// the sweep set for correctness matrices and the workload harness.
+    /// Use [`PoolKind::PAPER`] where figure parity matters.
+    pub const ALL: [PoolKind; 4] = [
+        PoolKind::WorkStealing,
+        PoolKind::Centralized,
+        PoolKind::Hybrid,
+        PoolKind::Structural,
+    ];
+
     /// Display label matching the paper's figure legends.
     pub fn label(self) -> &'static str {
         match self {
@@ -130,6 +185,37 @@ impl PoolKind {
             PoolKind::Centralized => "Centralized",
             PoolKind::Hybrid => "Hybrid",
             PoolKind::Structural => "Structural",
+        }
+    }
+
+    /// Snake-case identifier for machine-readable output (bench JSON ids,
+    /// CLI arguments).
+    pub fn id(self) -> &'static str {
+        match self {
+            PoolKind::WorkStealing => "work_stealing",
+            PoolKind::Centralized => "centralized",
+            PoolKind::Hybrid => "hybrid",
+            PoolKind::Structural => "structural",
+        }
+    }
+}
+
+impl std::str::FromStr for PoolKind {
+    type Err = String;
+
+    /// Accepts the snake-case [`PoolKind::id`], the figure-legend
+    /// [`PoolKind::label`] (case-insensitive), or the short alias `ws`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.to_ascii_lowercase();
+        match lower.as_str() {
+            "work_stealing" | "work-stealing" | "ws" => Ok(PoolKind::WorkStealing),
+            "centralized" => Ok(PoolKind::Centralized),
+            "hybrid" => Ok(PoolKind::Hybrid),
+            "structural" => Ok(PoolKind::Structural),
+            _ => Err(format!(
+                "unknown pool kind {s:?} (expected one of: work_stealing, \
+                 centralized, hybrid, structural)"
+            )),
         }
     }
 }
@@ -150,5 +236,36 @@ mod tests {
         assert_eq!(PoolKind::Centralized.label(), "Centralized");
         assert_eq!(PoolKind::Hybrid.label(), "Hybrid");
         assert_eq!(PoolKind::PAPER.len(), 3);
+    }
+
+    #[test]
+    fn all_extends_paper_with_structural() {
+        assert_eq!(PoolKind::ALL.len(), 4);
+        for kind in PoolKind::PAPER {
+            assert!(PoolKind::ALL.contains(&kind));
+        }
+        assert!(PoolKind::ALL.contains(&PoolKind::Structural));
+        assert!(!PoolKind::PAPER.contains(&PoolKind::Structural));
+    }
+
+    #[test]
+    fn kind_ids_round_trip_through_from_str() {
+        for kind in PoolKind::ALL {
+            assert_eq!(kind.id().parse::<PoolKind>().unwrap(), kind);
+            assert_eq!(kind.label().parse::<PoolKind>().unwrap(), kind);
+        }
+        assert_eq!("ws".parse::<PoolKind>().unwrap(), PoolKind::WorkStealing);
+        assert!("bogus".parse::<PoolKind>().is_err());
+    }
+
+    #[test]
+    fn pool_params_defaults_match_paper() {
+        let p = PoolParams::default();
+        assert_eq!(p.k, 512);
+        assert_eq!(p.kmax, 512);
+        // with_k keeps kmax wide enough to admit the requested k.
+        assert_eq!(PoolParams::with_k(8).kmax, 512);
+        assert_eq!(PoolParams::with_k(8192).kmax, 8192);
+        assert_eq!(PoolParams::with_k(8192).k, 8192);
     }
 }

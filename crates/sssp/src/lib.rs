@@ -41,11 +41,7 @@ mod integration_tests {
         places: usize,
         k: usize,
     ) {
-        let cfg = SsspConfig {
-            places,
-            k,
-            ..SsspConfig::default()
-        };
+        let cfg = SsspConfig::new(places, k);
         let res = run_sssp_kind(kind, graph, source, &cfg);
         let expect = dijkstra(graph, source);
         assert_eq!(
@@ -66,12 +62,7 @@ mod integration_tests {
             p: 0.08,
             seed: 21,
         });
-        for kind in [
-            PoolKind::WorkStealing,
-            PoolKind::Centralized,
-            PoolKind::Hybrid,
-            PoolKind::Structural,
-        ] {
+        for kind in PoolKind::ALL {
             check_against_dijkstra(&g, 0, kind, 2, 16);
         }
     }
@@ -102,11 +93,7 @@ mod integration_tests {
         let expect = dijkstra(&g, 0);
         let reachable = expect.dist.iter().filter(|d| d.is_finite()).count() as u64;
         for kind in PoolKind::PAPER {
-            let cfg = SsspConfig {
-                places: 1,
-                k: 512,
-                ..SsspConfig::default()
-            };
+            let cfg = SsspConfig::new(1, 512);
             let res = run_sssp_kind(kind, &g, 0, &cfg);
             assert_eq!(res.dist, expect.dist);
             assert_eq!(
@@ -119,11 +106,7 @@ mod integration_tests {
     #[test]
     fn disconnected_graph_leaves_infinities() {
         let g = CsrGraph::from_undirected_edges(5, &[(0, 1, 1.0), (2, 3, 1.0)]);
-        let cfg = SsspConfig {
-            places: 2,
-            k: 4,
-            ..SsspConfig::default()
-        };
+        let cfg = SsspConfig::new(2, 4);
         let res = run_sssp_kind(PoolKind::Hybrid, &g, 0, &cfg);
         assert_eq!(res.dist[0], 0.0);
         assert_eq!(res.dist[1], 1.0);
@@ -142,11 +125,7 @@ mod integration_tests {
         let expect = dijkstra(&g, 0).dist;
         for k in [0usize, 1, 32768] {
             for kind in PoolKind::PAPER {
-                let cfg = SsspConfig {
-                    places: 4,
-                    k,
-                    ..SsspConfig::default()
-                };
+                let cfg = SsspConfig::new(4, k);
                 let res = run_sssp_kind(kind, &g, 0, &cfg);
                 assert_eq!(res.dist, expect, "{kind} k={k}");
             }

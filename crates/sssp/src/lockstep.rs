@@ -23,10 +23,7 @@ use crate::distances::AtomicDistances;
 use crate::executor::SsspTask;
 use crate::runner::{SsspConfig, SsspResult};
 use priosched_core::stats::PlaceStats;
-use priosched_core::{
-    CentralizedKPriority, HybridKPriority, PoolHandle, PoolKind, PriorityWorkStealing,
-    StructuralKPriority, TaskPool,
-};
+use priosched_core::{PoolHandle, PoolKind, TaskPool};
 use priosched_graph::CsrGraph;
 use std::sync::Arc;
 use std::time::Instant;
@@ -51,7 +48,7 @@ where
     let mut pending: u64 = 1;
     handles[0].push(
         0,
-        cfg.k,
+        cfg.pool.k,
         SsspTask {
             node: source,
             dist_bits: 0f64.to_bits(),
@@ -92,7 +89,7 @@ where
                 }
             }
             pending += batch.len() as u64;
-            h.push_batch(cfg.k, &mut batch);
+            h.push_batch(cfg.pool.k, &mut batch);
         }
     }
 
@@ -110,38 +107,19 @@ where
 }
 
 /// Lockstep runner with the structure chosen at runtime.
+///
+/// Goes through [`PoolKind::build`] (wall-clock from this runner is
+/// meaningless anyway, so the erased pool's per-op branch costs nothing
+/// that matters); `cfg.pool` supplies the structural `k` and centralized
+/// `kmax` knobs.
 pub fn run_sssp_lockstep_kind(
     kind: PoolKind,
     graph: &CsrGraph,
     source: u32,
     cfg: &SsspConfig,
 ) -> SsspResult {
-    match kind {
-        PoolKind::WorkStealing => run_sssp_lockstep(
-            Arc::new(PriorityWorkStealing::new(cfg.places)),
-            graph,
-            source,
-            cfg,
-        ),
-        PoolKind::Centralized => run_sssp_lockstep(
-            Arc::new(CentralizedKPriority::new(cfg.places, cfg.kmax)),
-            graph,
-            source,
-            cfg,
-        ),
-        PoolKind::Hybrid => run_sssp_lockstep(
-            Arc::new(HybridKPriority::new(cfg.places)),
-            graph,
-            source,
-            cfg,
-        ),
-        PoolKind::Structural => run_sssp_lockstep(
-            Arc::new(StructuralKPriority::new(cfg.places, cfg.k)),
-            graph,
-            source,
-            cfg,
-        ),
-    }
+    let pool = Arc::new(kind.build(cfg.places, cfg.pool));
+    run_sssp_lockstep(pool, graph, source, cfg)
 }
 
 #[cfg(test)]
@@ -157,17 +135,8 @@ mod tests {
             seed: 44,
         });
         let expect = dijkstra(&g, 0).dist;
-        for kind in [
-            PoolKind::WorkStealing,
-            PoolKind::Centralized,
-            PoolKind::Hybrid,
-            PoolKind::Structural,
-        ] {
-            let cfg = SsspConfig {
-                places: 8,
-                k: 32,
-                ..SsspConfig::default()
-            };
+        for kind in PoolKind::ALL {
+            let cfg = SsspConfig::new(8, 32);
             let res = run_sssp_lockstep_kind(kind, &g, 0, &cfg);
             assert_eq!(res.dist, expect, "{kind}");
         }
@@ -186,11 +155,7 @@ mod tests {
             .filter(|d| d.is_finite())
             .count() as u64;
         for kind in PoolKind::PAPER {
-            let cfg = SsspConfig {
-                places: 1,
-                k: 512,
-                ..SsspConfig::default()
-            };
+            let cfg = SsspConfig::new(1, 512);
             let res = run_sssp_lockstep_kind(kind, &g, 0, &cfg);
             assert_eq!(res.relaxed, reachable, "{kind}");
         }
@@ -206,11 +171,7 @@ mod tests {
             p: 0.5,
             seed: 46,
         });
-        let cfg = SsspConfig {
-            places: 32,
-            k: 64,
-            ..SsspConfig::default()
-        };
+        let cfg = SsspConfig::new(32, 64);
         let ws = run_sssp_lockstep_kind(PoolKind::WorkStealing, &g, 0, &cfg).relaxed;
         let ce = run_sssp_lockstep_kind(PoolKind::Centralized, &g, 0, &cfg).relaxed;
         let hy = run_sssp_lockstep_kind(PoolKind::Hybrid, &g, 0, &cfg).relaxed;

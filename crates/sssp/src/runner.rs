@@ -2,10 +2,7 @@
 
 use crate::executor::{SsspExecutor, SsspTask};
 use priosched_core::stats::PlaceStats;
-use priosched_core::{
-    CentralizedKPriority, HybridKPriority, PoolKind, PriorityWorkStealing, Scheduler,
-    StructuralKPriority, TaskPool,
-};
+use priosched_core::{run_on_kind, PoolKind, PoolParams, RunStats, Scheduler, TaskPool};
 use priosched_graph::CsrGraph;
 use std::sync::Arc;
 use std::time::Duration;
@@ -15,23 +12,52 @@ use std::time::Duration;
 pub struct SsspConfig {
     /// Number of places (worker threads), the paper's `P`.
     pub places: usize,
-    /// Relaxation parameter `k` passed with every task (§2.2).
-    pub k: usize,
-    /// `kmax` for the centralized structure (paper: 512).
-    pub kmax: u32,
+    /// Structure parameters: the relaxation bound `k` passed with every
+    /// task (§2.2) plus the centralized structure's `kmax` — shared with
+    /// every other pool-construction site via
+    /// [`priosched_core::PoolParams`], so a runtime-selected structure
+    /// cannot silently drop either knob.
+    pub pool: PoolParams,
     /// Scheduler-side dead-task elimination (§5.1); `false` only for
     /// ablation runs.
     pub eliminate_dead: bool,
+    /// Spawn-batch chunk bound forwarded to the executor (`0` = one batch
+    /// per node expansion; see [`SsspExecutor::spawn_chunk`]).
+    pub spawn_chunk: usize,
 }
 
 impl Default for SsspConfig {
     fn default() -> Self {
         SsspConfig {
             places: 4,
-            k: 512,
-            kmax: 512,
+            pool: PoolParams::default(),
             eliminate_dead: true,
+            spawn_chunk: 0,
         }
+    }
+}
+
+impl SsspConfig {
+    /// Config for `places` places and relaxation bound `k`, with `kmax`
+    /// widened to admit `k` (see [`PoolParams::with_k`]); dead-task
+    /// elimination on.
+    pub fn new(places: usize, k: usize) -> Self {
+        SsspConfig {
+            places,
+            pool: PoolParams::with_k(k),
+            ..SsspConfig::default()
+        }
+    }
+
+    /// Overrides the centralized structure's `kmax`.
+    pub fn kmax(mut self, kmax: u32) -> Self {
+        self.pool.kmax = kmax;
+        self
+    }
+
+    /// The per-task relaxation bound `k`.
+    pub fn k(&self) -> usize {
+        self.pool.k
     }
 }
 
@@ -51,15 +77,16 @@ pub struct SsspResult {
     pub pool_stats: PlaceStats,
 }
 
-/// Runs parallel SSSP over an explicit task pool.
-pub fn run_sssp<P>(pool: Arc<P>, graph: &CsrGraph, source: u32, cfg: &SsspConfig) -> SsspResult
-where
-    P: TaskPool<SsspTask>,
-{
+/// Builds the executor for `cfg` (shared by the generic and kind-selected
+/// entry points).
+fn executor_for<'g>(graph: &'g CsrGraph, source: u32, cfg: &SsspConfig) -> SsspExecutor<'g> {
     assert!((source as usize) < graph.num_nodes(), "source out of range");
-    let exec = SsspExecutor::with_elimination(graph, source, cfg.k, cfg.eliminate_dead);
-    let sched = Scheduler::from_pool_arc(pool);
-    let run = sched.run(&exec, vec![exec.root(source)]);
+    SsspExecutor::with_elimination(graph, source, cfg.pool.k, cfg.eliminate_dead)
+        .spawn_chunk(cfg.spawn_chunk)
+}
+
+/// Folds scheduler stats and executor counters into an [`SsspResult`].
+fn collect(exec: &SsspExecutor<'_>, run: RunStats) -> SsspResult {
     SsspResult {
         dist: exec.distances().snapshot(),
         relaxed: exec.relaxed(),
@@ -69,45 +96,38 @@ where
     }
 }
 
+/// Runs parallel SSSP over an explicit task pool.
+pub fn run_sssp<P>(pool: Arc<P>, graph: &CsrGraph, source: u32, cfg: &SsspConfig) -> SsspResult
+where
+    P: TaskPool<SsspTask>,
+{
+    let exec = executor_for(graph, source, cfg);
+    let sched = Scheduler::from_pool_arc(pool);
+    let run = sched.run(&exec, vec![exec.root(source)]);
+    collect(&exec, run)
+}
+
 /// Runs parallel SSSP with one of the paper's structures selected at
 /// runtime (used by the figure harness to sweep structures).
+///
+/// Pool construction goes through [`priosched_core::run_on_kind`]: one
+/// dispatch before the run, a scheduling loop monomorphized per structure,
+/// and `cfg.pool` routed to whichever construction knobs the kind consumes.
 pub fn run_sssp_kind(
     kind: PoolKind,
     graph: &CsrGraph,
     source: u32,
     cfg: &SsspConfig,
 ) -> SsspResult {
-    match kind {
-        PoolKind::WorkStealing => run_sssp(
-            Arc::new(PriorityWorkStealing::new(cfg.places)),
-            graph,
-            source,
-            cfg,
-        ),
-        PoolKind::Centralized => run_sssp(
-            Arc::new(CentralizedKPriority::new(cfg.places, cfg.kmax)),
-            graph,
-            source,
-            cfg,
-        ),
-        PoolKind::Hybrid => run_sssp(
-            Arc::new(HybridKPriority::new(cfg.places)),
-            graph,
-            source,
-            cfg,
-        ),
-        PoolKind::Structural => run_sssp(
-            Arc::new(StructuralKPriority::new(cfg.places, cfg.k)),
-            graph,
-            source,
-            cfg,
-        ),
-    }
+    let exec = executor_for(graph, source, cfg);
+    let run = run_on_kind(kind, cfg.places, cfg.pool, &exec, vec![exec.root(source)]);
+    collect(&exec, run)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use priosched_core::HybridKPriority;
     use priosched_graph::{dijkstra, erdos_renyi, ErdosRenyiConfig};
 
     #[test]
@@ -117,16 +137,25 @@ mod tests {
             p: 0.15,
             seed: 3,
         });
-        let cfg = SsspConfig {
-            places: 2,
-            k: 8,
-            kmax: 64,
-            ..SsspConfig::default()
-        };
+        let cfg = SsspConfig::new(2, 8).kmax(64);
         let res = run_sssp(Arc::new(HybridKPriority::new(cfg.places)), &g, 0, &cfg);
         assert_eq!(res.dist, dijkstra(&g, 0).dist);
         assert!(res.relaxed >= 80);
         assert!(res.pool_stats.pushes >= res.relaxed.saturating_sub(1));
+    }
+
+    #[test]
+    fn kind_runner_matches_for_every_structure() {
+        let g = erdos_renyi(&ErdosRenyiConfig {
+            n: 90,
+            p: 0.12,
+            seed: 9,
+        });
+        let expect = dijkstra(&g, 0).dist;
+        for kind in PoolKind::ALL {
+            let res = run_sssp_kind(kind, &g, 0, &SsspConfig::new(2, 16));
+            assert_eq!(res.dist, expect, "{kind}");
+        }
     }
 
     #[test]

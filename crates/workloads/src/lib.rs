@@ -1,0 +1,281 @@
+#![warn(missing_docs)]
+
+//! First-class workloads for the priority scheduler.
+//!
+//! The paper evaluates its ρ-relaxed structures on one application (SSSP,
+//! §5); related work judges relaxed schedulers on scenario *breadth* —
+//! Multi-Queues across SSSP/BFS/MST-style kernels, INSPIRIT per-workload
+//! priority policies in task-based runtimes. This crate makes every
+//! scenario in the repo a verifiable, benchmarkable citizen instead of a
+//! one-off example:
+//!
+//! * [`SsspWorkload`] — the paper's evaluation application (§5.1);
+//! * [`CholeskyWorkload`] — tile Cholesky as a prioritized task DAG, the
+//!   introduction's motivating "algorithms-by-blocks" use case \[16\];
+//! * [`KnapsackWorkload`] — best-first branch-and-bound, where pruned
+//!   subtrees are exactly the paper's dead tasks (§5.1);
+//! * [`MoSsspWorkload`] — bi-objective label-correcting shortest paths,
+//!   the conclusion's multi-objective future-work direction.
+//!
+//! # The `Workload` contract
+//!
+//! A [`Workload`] is a fixed problem instance plus its sequential oracle:
+//! it builds a fresh [`TaskExecutor`] per run, seeds root tasks, and — after
+//! the scheduler drains — checks the executor's final state against the
+//! oracle. [`run_workload`] drives one `(kind, places, params)` cell
+//! through [`priosched_core::run_on_kind`] and folds everything into a
+//! [`WorkloadReport`]. The oracle is computed once at construction, so a
+//! sweep re-verifies every run at the cost of a comparison, not a re-solve.
+//!
+//! Verification is not optional decoration: a relaxed structure that drops
+//! or reorders beyond its ρ bound produces *wrong answers* here (missing
+//! distances, a non-optimal knapsack value, an incomplete Pareto front),
+//! not just slower runs. The `oracle_matrix` integration test pins every
+//! workload × every [`PoolKind`] × {1, 4} places to its oracle.
+//!
+//! Sweeping is the job of the `schedbench` binary in `priosched-bench`,
+//! which iterates [`DynWorkload`] trait objects over workload × kind ×
+//! places × k × spawn-chunk and emits `BENCH_*.json`-format records.
+
+pub mod cholesky;
+pub mod knapsack;
+pub mod mo_sssp;
+pub mod sssp;
+
+pub use cholesky::CholeskyWorkload;
+pub use knapsack::KnapsackWorkload;
+pub use mo_sssp::MoSsspWorkload;
+pub use sssp::SsspWorkload;
+
+use priosched_core::stats::PlaceStats;
+use priosched_core::{run_on_kind, PoolKind, PoolParams, RunStats, TaskExecutor};
+use std::time::Duration;
+
+/// A schedulable, verifiable benchmark scenario.
+///
+/// Implementations hold the *instance* (input data) and its precomputed
+/// sequential oracle; per-run mutable state lives in the executor so one
+/// workload value can be swept across structures and place counts.
+pub trait Workload {
+    /// Task type flowing through the pool.
+    type Task: Send + 'static;
+    /// Per-run executor (application state); may borrow the instance.
+    type Exec<'w>: TaskExecutor<Self::Task> + Sync
+    where
+        Self: 'w;
+
+    /// Stable identifier (snake case; used in report ids and CLI flags).
+    fn name(&self) -> &'static str;
+
+    /// Builds a fresh executor for one run. `params.k` is the relaxation
+    /// bound the executor should pass with its spawns — the same value
+    /// [`run_workload`] routes into pool construction, so the two can
+    /// never diverge.
+    fn executor(&self, params: &PoolParams) -> Self::Exec<'_>;
+
+    /// Root tasks as `(priority, k, task)` triples.
+    fn seed(&self, exec: &Self::Exec<'_>, params: &PoolParams) -> Vec<(u64, usize, Self::Task)>;
+
+    /// Checks the executor's final state against the sequential oracle.
+    fn verify(&self, exec: &Self::Exec<'_>, run: &RunStats) -> Result<(), String>;
+
+    /// Workload-specific scalar metrics for the report (e.g. nodes
+    /// relaxed, max factorization error).
+    fn metrics(&self, _exec: &Self::Exec<'_>, _run: &RunStats) -> Vec<(&'static str, f64)> {
+        Vec::new()
+    }
+}
+
+/// Outcome of one verified workload run.
+#[derive(Clone, Debug)]
+pub struct WorkloadReport {
+    /// [`Workload::name`] of the workload that ran.
+    pub workload: &'static str,
+    /// Structure the run used.
+    pub kind: PoolKind,
+    /// Place count of the run.
+    pub places: usize,
+    /// Structure parameters of the run.
+    pub params: PoolParams,
+    /// Tasks executed (dead tasks excluded).
+    pub executed: u64,
+    /// Tasks eliminated as dead at pop time (§5.1).
+    pub dead: u64,
+    /// Wall-clock time of the scheduled run.
+    pub elapsed: Duration,
+    /// Summed data-structure counters over all places.
+    pub pool: PlaceStats,
+    /// Oracle verdict: `Err` carries a description of the mismatch.
+    pub verify: Result<(), String>,
+    /// Workload-specific metrics.
+    pub metrics: Vec<(&'static str, f64)>,
+}
+
+impl WorkloadReport {
+    /// `true` when the run matched its sequential oracle.
+    pub fn verified(&self) -> bool {
+        self.verify.is_ok()
+    }
+
+    /// Panics with full context when the run failed verification.
+    pub fn expect_verified(&self) -> &Self {
+        if let Err(e) = &self.verify {
+            panic!(
+                "{} on {} (P={}, k={}): oracle mismatch: {e}",
+                self.workload, self.kind, self.places, self.params.k
+            );
+        }
+        self
+    }
+
+    /// One record in the committed `BENCH_*.json` format (`group`/`id`/
+    /// `mean_ns`/`min_ns`/`max_ns`/`elements`); a single run reports its
+    /// elapsed time as mean = min = max.
+    pub fn json_record(&self) -> String {
+        bench_record(std::slice::from_ref(self), "")
+    }
+}
+
+/// Aggregates repeated runs of one sweep cell into a single record in the
+/// committed `BENCH_*.json` format (`group`/`id`/`mean_ns`/`min_ns`/
+/// `max_ns`/`elements`). All reports must come from the same cell;
+/// `id_suffix` extends the id with extra axes (e.g. `"_c8"` for a
+/// spawn-chunk tag). This is the **only** definition of the record shape —
+/// `schedbench` and single-run callers both go through it.
+///
+/// # Panics
+/// Panics on an empty slice.
+pub fn bench_record(reports: &[WorkloadReport], id_suffix: &str) -> String {
+    let first = reports
+        .first()
+        .expect("bench_record needs at least one run");
+    let ns: Vec<f64> = reports
+        .iter()
+        .map(|r| r.elapsed.as_nanos() as f64)
+        .collect();
+    let mean = ns.iter().sum::<f64>() / ns.len() as f64;
+    let min = ns.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = ns.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    format!(
+        "{{\"group\": \"schedbench_{}\", \"id\": \"{}/p{}_k{}{id_suffix}\", \
+         \"mean_ns\": {mean:.1}, \"min_ns\": {min:.1}, \"max_ns\": {max:.1}, \
+         \"elements\": {}}}",
+        first.workload,
+        first.kind.id(),
+        first.places,
+        first.params.k,
+        first.executed
+    )
+}
+
+/// Runs `workload` once on a fresh pool of `kind` and verifies the result.
+///
+/// The same `params` value configures the pool (structural `k`,
+/// centralized `kmax`) *and* the executor's per-task `k` — the
+/// anti-knob-drop guarantee the workload layer is built on.
+pub fn run_workload<W: Workload + ?Sized>(
+    workload: &W,
+    kind: PoolKind,
+    places: usize,
+    params: PoolParams,
+) -> WorkloadReport {
+    let exec = workload.executor(&params);
+    let roots = workload.seed(&exec, &params);
+    let run = run_on_kind(kind, places, params, &exec, roots);
+    let verify = workload.verify(&exec, &run);
+    let metrics = workload.metrics(&exec, &run);
+    WorkloadReport {
+        workload: workload.name(),
+        kind,
+        places,
+        params,
+        executed: run.executed,
+        dead: run.dead,
+        elapsed: run.elapsed,
+        pool: run.pool,
+        verify,
+        metrics,
+    }
+}
+
+/// Object-safe view over [`Workload`], so heterogeneous workloads (whose
+/// task types differ) can share one sweep loop.
+pub trait DynWorkload {
+    /// [`Workload::name`] of the underlying workload.
+    fn name(&self) -> &'static str;
+    /// Runs one `(kind, places, params)` cell (see [`run_workload`]).
+    fn run(&self, kind: PoolKind, places: usize, params: PoolParams) -> WorkloadReport;
+}
+
+impl<W: Workload> DynWorkload for W {
+    fn name(&self) -> &'static str {
+        Workload::name(self)
+    }
+
+    fn run(&self, kind: PoolKind, places: usize, params: PoolParams) -> WorkloadReport {
+        run_workload(self, kind, places, params)
+    }
+}
+
+/// Deterministic xorshift64 used by the instance generators (kept local so
+/// instances are reproducible bit-for-bit across sessions).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct SplitRng(pub u64);
+
+impl SplitRng {
+    pub fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    /// Uniform float in `(-0.5, 0.5)`.
+    pub fn next_centered(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_record_matches_bench_format() {
+        let report = WorkloadReport {
+            workload: "sssp",
+            kind: PoolKind::Hybrid,
+            places: 4,
+            params: PoolParams::with_k(64),
+            executed: 123,
+            dead: 1,
+            elapsed: Duration::from_micros(1500),
+            pool: PlaceStats::default(),
+            verify: Ok(()),
+            metrics: Vec::new(),
+        };
+        let rec = report.json_record();
+        assert!(rec.contains("\"group\": \"schedbench_sssp\""), "{rec}");
+        assert!(rec.contains("\"id\": \"hybrid/p4_k64\""), "{rec}");
+        assert!(rec.contains("\"mean_ns\": 1500000.0"), "{rec}");
+        assert!(rec.contains("\"elements\": 123"), "{rec}");
+    }
+
+    #[test]
+    #[should_panic(expected = "oracle mismatch")]
+    fn expect_verified_panics_on_mismatch() {
+        let report = WorkloadReport {
+            workload: "sssp",
+            kind: PoolKind::Hybrid,
+            places: 4,
+            params: PoolParams::default(),
+            executed: 0,
+            dead: 0,
+            elapsed: Duration::ZERO,
+            pool: PlaceStats::default(),
+            verify: Err("distances diverge".into()),
+            metrics: Vec::new(),
+        };
+        report.expect_verified();
+    }
+}

@@ -1,0 +1,163 @@
+//! The paper's evaluation workload (§5.1) as a [`Workload`]: parallel SSSP
+//! where every node relaxation is a task, verified against sequential
+//! Dijkstra.
+
+use crate::Workload;
+use priosched_core::{PoolParams, RunStats};
+use priosched_graph::{dijkstra, erdos_renyi, CsrGraph, ErdosRenyiConfig};
+use priosched_sssp::{SsspExecutor, SsspTask};
+
+/// An SSSP instance (graph + source) with its Dijkstra oracle.
+pub struct SsspWorkload {
+    graph: CsrGraph,
+    source: u32,
+    eliminate_dead: bool,
+    spawn_chunk: usize,
+    oracle: Vec<f64>,
+    reachable: u64,
+}
+
+impl SsspWorkload {
+    /// Wraps an existing graph; computes the Dijkstra oracle once.
+    ///
+    /// # Panics
+    /// Panics if `source` is out of range.
+    pub fn new(graph: CsrGraph, source: u32) -> Self {
+        assert!((source as usize) < graph.num_nodes(), "source out of range");
+        let oracle = dijkstra(&graph, source).dist;
+        let reachable = oracle.iter().filter(|d| d.is_finite()).count() as u64;
+        SsspWorkload {
+            graph,
+            source,
+            eliminate_dead: true,
+            spawn_chunk: 0,
+            oracle,
+            reachable,
+        }
+    }
+
+    /// Seeded Erdős–Rényi instance with source 0 (the figures' workload
+    /// shape).
+    pub fn random(n: usize, p: f64, seed: u64) -> Self {
+        Self::new(erdos_renyi(&ErdosRenyiConfig { n, p, seed }), 0)
+    }
+
+    /// Sets the spawn-batch chunk bound forwarded to the executor.
+    pub fn spawn_chunk(mut self, chunk: usize) -> Self {
+        self.spawn_chunk = chunk;
+        self
+    }
+
+    /// Disables scheduler-side dead-task elimination (ablation runs).
+    pub fn without_dead_elimination(mut self) -> Self {
+        self.eliminate_dead = false;
+        self
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    /// The Dijkstra distances this workload verifies against.
+    pub fn oracle(&self) -> &[f64] {
+        &self.oracle
+    }
+}
+
+impl Workload for SsspWorkload {
+    type Task = SsspTask;
+    type Exec<'w>
+        = SsspExecutor<'w>
+    where
+        Self: 'w;
+
+    fn name(&self) -> &'static str {
+        "sssp"
+    }
+
+    fn executor(&self, params: &PoolParams) -> SsspExecutor<'_> {
+        SsspExecutor::with_elimination(&self.graph, self.source, params.k, self.eliminate_dead)
+            .spawn_chunk(self.spawn_chunk)
+    }
+
+    fn seed(&self, exec: &SsspExecutor<'_>, _params: &PoolParams) -> Vec<(u64, usize, SsspTask)> {
+        vec![exec.root(self.source)]
+    }
+
+    fn verify(&self, exec: &SsspExecutor<'_>, _run: &RunStats) -> Result<(), String> {
+        let dist = exec.distances().snapshot();
+        if dist != self.oracle {
+            let diverging = dist
+                .iter()
+                .zip(&self.oracle)
+                .filter(|(a, b)| a != b)
+                .count();
+            return Err(format!(
+                "{diverging} of {} distances diverge from Dijkstra",
+                dist.len()
+            ));
+        }
+        if exec.relaxed() < self.reachable {
+            return Err(format!(
+                "only {} relaxations for {} reachable nodes",
+                exec.relaxed(),
+                self.reachable
+            ));
+        }
+        Ok(())
+    }
+
+    fn metrics(&self, exec: &SsspExecutor<'_>, _run: &RunStats) -> Vec<(&'static str, f64)> {
+        vec![
+            ("relaxed", exec.relaxed() as f64),
+            (
+                "useless",
+                exec.relaxed().saturating_sub(self.reachable) as f64,
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_workload;
+    use priosched_core::PoolKind;
+
+    #[test]
+    fn sssp_workload_verifies_on_hybrid() {
+        let w = SsspWorkload::random(120, 0.1, 7);
+        let report = run_workload(&w, PoolKind::Hybrid, 2, PoolParams::with_k(16));
+        report.expect_verified();
+        assert!(report.executed >= 120);
+        assert!(report
+            .metrics
+            .iter()
+            .any(|(name, v)| *name == "relaxed" && *v >= 120.0));
+    }
+
+    #[test]
+    fn spawn_chunk_variants_all_verify() {
+        let g = erdos_renyi(&ErdosRenyiConfig {
+            n: 80,
+            p: 0.15,
+            seed: 11,
+        });
+        for chunk in [0usize, 1, 4] {
+            let w = SsspWorkload::new(g.clone(), 0).spawn_chunk(chunk);
+            run_workload(&w, PoolKind::Centralized, 2, PoolParams::with_k(32)).expect_verified();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "source out of range")]
+    fn bad_source_rejected_at_construction() {
+        let g = erdos_renyi(&ErdosRenyiConfig {
+            n: 10,
+            p: 0.3,
+            seed: 1,
+        });
+        SsspWorkload::new(g, 10);
+    }
+}

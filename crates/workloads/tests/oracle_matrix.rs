@@ -1,0 +1,68 @@
+//! Cross-matrix oracle coverage: every workload must match its sequential
+//! oracle on every structure at 1 and 4 places.
+//!
+//! This is the contract that keeps example-derived workloads from rotting:
+//! SSSP against Dijkstra, Cholesky against the dense sequential
+//! factorization, knapsack against the exact DP optimum, bi-objective SSSP
+//! against the exhaustive Pareto fronts. A relaxed structure that violates
+//! its ρ bound (or a scheduler that drops/duplicates tasks) produces wrong
+//! *answers* here, not just slow runs.
+
+use priosched_core::{PoolKind, PoolParams};
+use priosched_workloads::{
+    CholeskyWorkload, DynWorkload, KnapsackWorkload, MoSsspWorkload, SsspWorkload,
+};
+
+fn matrix(workload: &dyn DynWorkload, params: PoolParams) {
+    for kind in PoolKind::ALL {
+        for places in [1usize, 4] {
+            let report = workload.run(kind, places, params);
+            report.expect_verified();
+            assert_eq!(report.places, places);
+            assert_eq!(report.kind, kind);
+            assert!(
+                report.executed > 0,
+                "{} on {kind}: nothing executed",
+                workload.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn sssp_matches_dijkstra_across_matrix() {
+    let w = SsspWorkload::random(150, 0.08, 44);
+    matrix(&w, PoolParams::with_k(32));
+}
+
+#[test]
+fn cholesky_matches_dense_factorization_across_matrix() {
+    let w = CholeskyWorkload::random(4, 8, 0xFEED_FACE);
+    matrix(&w, PoolParams::with_k(16));
+}
+
+#[test]
+fn knapsack_matches_dp_optimum_across_matrix() {
+    let w = KnapsackWorkload::random(26, 2_500, 0x1234_5678_9ABC_DEF0);
+    matrix(&w, PoolParams::with_k(64));
+}
+
+#[test]
+fn mo_sssp_matches_exhaustive_fronts_across_matrix() {
+    let w = MoSsspWorkload::random(45, 0.1, 99);
+    matrix(&w, PoolParams::with_k(8));
+}
+
+/// Strict ordering (k = 1) and heavy relaxation (k = 4096) both stay
+/// correct — the knob trades work for synchronization, never correctness.
+#[test]
+fn k_extremes_stay_correct_on_hybrid_and_structural() {
+    let sssp = SsspWorkload::random(100, 0.1, 7);
+    let knap = KnapsackWorkload::random(22, 2_000, 3);
+    for k in [1usize, 4096] {
+        for kind in [PoolKind::Hybrid, PoolKind::Structural] {
+            sssp.run(kind, 2, PoolParams::with_k(k)).expect_verified();
+            knap.run(kind, 2, PoolParams::with_k(k)).expect_verified();
+        }
+    }
+}

@@ -1,350 +1,41 @@
-//! Blocked Cholesky factorization as a prioritized task DAG.
+//! Blocked Cholesky factorization as a prioritized task DAG — thin wrapper
+//! over [`priosched::workloads::CholeskyWorkload`].
 //!
-//! The paper's introduction motivates priority scheduling with
-//! "matrix algorithms-by-blocks" (Quintana-Ortí et al., cited as [16]):
-//! such applications "resort to their own centralized scheduling scheme,
-//! based on a shared priority queue" — exactly the congestion problem the
-//! k-priority structures solve. This example implements tile Cholesky
-//! (POTRF/TRSM/SYRK/GEMM tasks over a blocked SPD matrix) on the priosched
-//! scheduler:
-//!
-//! * dependencies are tracked with per-task atomic counters; a task is
-//!   spawned when its last input retires (help-first, §2);
-//! * priorities follow the critical path: tasks on earlier panels run
-//!   first, which keeps the factorization front narrow — the classic
-//!   priority function for tile Cholesky;
-//! * the result is verified against a sequential unblocked Cholesky and by
-//!   reconstructing `L·Lᵀ ≈ A`.
+//! The paper's introduction motivates priority scheduling with "matrix
+//! algorithms-by-blocks" (Quintana-Ortí et al., cited as [16]): such
+//! applications "resort to their own centralized scheduling scheme, based
+//! on a shared priority queue" — exactly the congestion problem the
+//! k-priority structures solve. The workload implementation (tile
+//! POTRF/TRSM/SYRK/GEMM kernels, per-task dependency counters,
+//! critical-path priorities, dense sequential oracle) lives in
+//! `crates/workloads`, where tests and `schedbench` exercise it across
+//! every structure; this example just runs and narrates it.
 //!
 //! Run with: `cargo run --release --example cholesky_blocks`
 
-use priosched::core::{HybridKPriority, Scheduler, SpawnCtx, TaskExecutor};
-use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::Mutex;
-
-const B: usize = 16; // tile edge
-const NT: usize = 6; // tiles per dimension -> 96x96 matrix
-
-type Tile = Vec<f64>; // B*B, row-major
-
-/// The four tile kernels of right-looking Cholesky.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-enum Kernel {
-    /// Factorize diagonal tile (k, k).
-    Potrf { k: usize },
-    /// Solve L(i,k) = A(i,k) · L(k,k)^-T for i > k.
-    Trsm { k: usize, i: usize },
-    /// Update diagonal: A(i,i) -= L(i,k)·L(i,k)ᵀ.
-    Syrk { k: usize, i: usize },
-    /// Update off-diagonal: A(i,j) -= L(i,k)·L(j,k)ᵀ for k < j < i.
-    Gemm { k: usize, i: usize, j: usize },
-}
-
-impl Kernel {
-    /// Critical-path priority: panel index dominates (earlier panels
-    /// unblock everything downstream), then kernel class.
-    fn priority(self) -> u64 {
-        match self {
-            Kernel::Potrf { k } => (k as u64) << 8,
-            Kernel::Trsm { k, .. } => ((k as u64) << 8) + 1,
-            Kernel::Syrk { k, .. } => ((k as u64) << 8) + 2,
-            Kernel::Gemm { k, .. } => ((k as u64) << 8) + 3,
-        }
-    }
-}
-
-struct Cholesky {
-    /// Lower-triangular tiles, each behind its own lock (tasks touching the
-    /// same tile are serialized by the dependency structure, but Rust wants
-    /// the proof).
-    tiles: Vec<Mutex<Tile>>,
-    /// Remaining input count per kernel, indexed like `deps`.
-    remaining: Vec<AtomicU32>,
-    k_relax: usize,
-}
-
-fn tile_index(i: usize, j: usize) -> usize {
-    debug_assert!(j <= i);
-    i * (i + 1) / 2 + j
-}
-
-/// Dense kernel id for the `remaining` table.
-fn kernel_index(kr: Kernel) -> usize {
-    // Layout: for each panel k: potrf, then trsm(i), syrk(i), gemm(i,j).
-    match kr {
-        Kernel::Potrf { k } => k * (1 + 3 * NT * NT),
-        Kernel::Trsm { k, i } => k * (1 + 3 * NT * NT) + 1 + i,
-        Kernel::Syrk { k, i } => k * (1 + 3 * NT * NT) + 1 + NT + i,
-        Kernel::Gemm { k, i, j } => k * (1 + 3 * NT * NT) + 1 + 2 * NT + i * NT + j,
-    }
-}
-
-impl Cholesky {
-    /// Number of inputs each kernel waits for.
-    fn input_count(kr: Kernel) -> u32 {
-        match kr {
-            // potrf(k) waits for all syrk(k', k) with k' < k.
-            Kernel::Potrf { k } => k as u32,
-            // trsm(k,i) waits for potrf(k) + gemm(k', i, k) for k' < k.
-            Kernel::Trsm { k, .. } => 1 + k as u32,
-            // syrk(k,i) waits for trsm(k,i).
-            Kernel::Syrk { .. } => 1,
-            // gemm(k,i,j) waits for trsm(k,i) and trsm(k,j).
-            Kernel::Gemm { .. } => 2,
-        }
-    }
-
-    /// Signals that `kr`'s input retired; spawns it once all inputs are in.
-    fn retire_input(&self, kr: Kernel, ctx: &mut SpawnCtx<'_, Kernel>) {
-        let idx = kernel_index(kr);
-        if self.remaining[idx].fetch_sub(1, Ordering::AcqRel) == 1 {
-            ctx.spawn(kr.priority(), self.k_relax, kr);
-        }
-    }
-
-    fn with_tile<R>(&self, i: usize, j: usize, f: impl FnOnce(&mut Tile) -> R) -> R {
-        let mut t = self.tiles[tile_index(i, j)].lock().unwrap();
-        f(&mut t)
-    }
-
-    fn with_two_tiles<R>(
-        &self,
-        a: (usize, usize),
-        b: (usize, usize),
-        f: impl FnOnce(&Tile, &mut Tile) -> R,
-    ) -> R {
-        let ta = self.tiles[tile_index(a.0, a.1)].lock().unwrap();
-        let mut tb = self.tiles[tile_index(b.0, b.1)].lock().unwrap();
-        f(&ta, &mut tb)
-    }
-}
-
-// ---- dense micro-kernels (B×B tiles, row-major) ---------------------------
-
-/// In-place unblocked Cholesky of a tile; returns false on non-SPD input.
-fn potrf(a: &mut Tile) -> bool {
-    for j in 0..B {
-        let mut d = a[j * B + j];
-        for t in 0..j {
-            d -= a[j * B + t] * a[j * B + t];
-        }
-        if d <= 0.0 {
-            return false;
-        }
-        let d = d.sqrt();
-        a[j * B + j] = d;
-        for i in (j + 1)..B {
-            let mut s = a[i * B + j];
-            for t in 0..j {
-                s -= a[i * B + t] * a[j * B + t];
-            }
-            a[i * B + j] = s / d;
-        }
-        for t in (j + 1)..B {
-            a[j * B + t] = 0.0; // zero the upper triangle
-        }
-    }
-    true
-}
-
-/// B := B · A^{-T} with A lower triangular (right solve).
-fn trsm(a: &Tile, b: &mut Tile) {
-    for r in 0..B {
-        for c in 0..B {
-            let mut s = b[r * B + c];
-            for t in 0..c {
-                s -= b[r * B + t] * a[c * B + t];
-            }
-            b[r * B + c] = s / a[c * B + c];
-        }
-    }
-}
-
-/// C := C − A·Aᵀ (only the lower triangle matters downstream).
-fn syrk(a: &Tile, c: &mut Tile) {
-    for r in 0..B {
-        for cc in 0..B {
-            let mut s = 0.0;
-            for t in 0..B {
-                s += a[r * B + t] * a[cc * B + t];
-            }
-            c[r * B + cc] -= s;
-        }
-    }
-}
-
-/// C := C − A·Bᵀ.
-fn gemm(a: &Tile, b: &Tile, c: &mut Tile) {
-    for r in 0..B {
-        for cc in 0..B {
-            let mut s = 0.0;
-            for t in 0..B {
-                s += a[r * B + t] * b[cc * B + t];
-            }
-            c[r * B + cc] -= s;
-        }
-    }
-}
-
-impl TaskExecutor<Kernel> for Cholesky {
-    fn execute(&self, kr: Kernel, ctx: &mut SpawnCtx<'_, Kernel>) {
-        match kr {
-            Kernel::Potrf { k } => {
-                let ok = self.with_tile(k, k, potrf);
-                assert!(ok, "matrix is not SPD at panel {k}");
-                for i in (k + 1)..NT {
-                    self.retire_input(Kernel::Trsm { k, i }, ctx);
-                }
-            }
-            Kernel::Trsm { k, i } => {
-                self.with_two_tiles((k, k), (i, k), trsm);
-                self.retire_input(Kernel::Syrk { k, i }, ctx);
-                for j in (k + 1)..NT {
-                    if j < i {
-                        self.retire_input(Kernel::Gemm { k, i, j }, ctx);
-                    } else if j > i {
-                        self.retire_input(Kernel::Gemm { k, i: j, j: i }, ctx);
-                    }
-                }
-            }
-            Kernel::Syrk { k, i } => {
-                self.with_two_tiles((i, k), (i, i), syrk);
-                // Each panel contributes one rank-B update to A(i,i);
-                // potrf(i) waits for all i of them via its counter.
-                self.retire_input(Kernel::Potrf { k: i }, ctx);
-            }
-            Kernel::Gemm { k, i, j } => {
-                // A(i,j) -= L(i,k) · L(j,k)ᵀ, i > j > k.
-                let la = self.tiles[tile_index(i, k)].lock().unwrap().clone();
-                self.with_two_tiles((j, k), (i, j), |lb, c| gemm(&la, lb, c));
-                self.retire_input(Kernel::Trsm { k: j, i }, ctx);
-            }
-        }
-    }
-}
-
-// ---- reference + driver ----------------------------------------------------
-
-/// Dense sequential Cholesky of an n×n matrix (row-major, lower output).
-fn dense_cholesky(a: &[f64], n: usize) -> Vec<f64> {
-    let mut l = vec![0.0; n * n];
-    for j in 0..n {
-        let mut d = a[j * n + j];
-        for t in 0..j {
-            d -= l[j * n + t] * l[j * n + t];
-        }
-        assert!(d > 0.0, "not SPD");
-        let d = d.sqrt();
-        l[j * n + j] = d;
-        for i in (j + 1)..n {
-            let mut s = a[i * n + j];
-            for t in 0..j {
-                s -= l[i * n + t] * l[j * n + t];
-            }
-            l[i * n + j] = s / d;
-        }
-    }
-    l
-}
+use priosched::core::{PoolKind, PoolParams};
+use priosched::workloads::{run_workload, CholeskyWorkload};
 
 fn main() {
-    let n = B * NT;
-    // Build a deterministic SPD matrix: A = M·Mᵀ + n·I.
-    let mut state = 0xFEED_FACE_u64;
-    let mut rnd = move || {
-        state ^= state << 13;
-        state ^= state >> 7;
-        state ^= state << 17;
-        (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
-    };
-    let m: Vec<f64> = (0..n * n).map(|_| rnd()).collect();
-    let mut a = vec![0.0; n * n];
-    for i in 0..n {
-        for j in 0..n {
-            let mut s = 0.0;
-            for t in 0..n {
-                s += m[i * n + t] * m[j * n + t];
-            }
-            a[i * n + j] = s + if i == j { n as f64 } else { 0.0 };
-        }
-    }
-
-    // Tile the lower triangle.
-    let mut tiles = Vec::new();
-    for i in 0..NT {
-        for j in 0..=i {
-            let mut t = vec![0.0; B * B];
-            for r in 0..B {
-                for c in 0..B {
-                    t[r * B + c] = a[(i * B + r) * n + (j * B + c)];
-                }
-            }
-            tiles.push(Mutex::new(t));
-        }
-    }
-
-    // Dependency counters.
-    let mut remaining = Vec::new();
-    remaining.resize_with(NT * (1 + 3 * NT * NT), || AtomicU32::new(0));
-    for k in 0..NT {
-        remaining[kernel_index(Kernel::Potrf { k })] =
-            AtomicU32::new(Cholesky::input_count(Kernel::Potrf { k }).max(1));
-        for i in (k + 1)..NT {
-            remaining[kernel_index(Kernel::Trsm { k, i })] =
-                AtomicU32::new(Cholesky::input_count(Kernel::Trsm { k, i }));
-            remaining[kernel_index(Kernel::Syrk { k, i })] =
-                AtomicU32::new(Cholesky::input_count(Kernel::Syrk { k, i }));
-            for j in (k + 1)..i {
-                remaining[kernel_index(Kernel::Gemm { k, i, j })] =
-                    AtomicU32::new(Cholesky::input_count(Kernel::Gemm { k, i, j }));
-            }
-        }
-    }
-    // potrf(0) has no real inputs; its counter of 1 is released as the root.
-    let chol = Cholesky {
-        tiles,
-        remaining,
-        k_relax: 16,
-    };
-
+    let (nt, b) = (6usize, 16usize);
+    let workload = CholeskyWorkload::random(nt, b, 0xFEED_FACE);
+    let n = workload.dim();
     let places = 4;
-    let sched = Scheduler::from_pool(HybridKPriority::new(places));
-    let t0 = std::time::Instant::now();
-    let stats = sched.run(&chol, vec![(0, 16, Kernel::Potrf { k: 0 })]);
-    let elapsed = t0.elapsed();
 
-    // Expected task count: per panel k: 1 potrf + (NT-1-k) trsm + (NT-1-k)
-    // syrk + C(NT-1-k, 2) gemm.
-    let expect_tasks: u64 = (0..NT)
-        .map(|k| {
-            let r = (NT - 1 - k) as u64;
-            1 + 2 * r + r * (r.saturating_sub(1)) / 2
-        })
-        .sum();
-    assert_eq!(stats.executed, expect_tasks, "task DAG fully executed");
+    let report = run_workload(&workload, PoolKind::Hybrid, places, PoolParams::with_k(16));
+    report.expect_verified();
+    assert_eq!(report.executed, workload.expected_tasks());
 
-    // Verify against the dense reference, elementwise.
-    let l_ref = dense_cholesky(&a, n);
-    let mut max_err = 0.0f64;
-    for i in 0..NT {
-        for j in 0..=i {
-            let t = chol.tiles[tile_index(i, j)].lock().unwrap();
-            for r in 0..B {
-                for c in 0..B {
-                    let (gi, gj) = (i * B + r, j * B + c);
-                    if gj <= gi {
-                        let err = (t[r * B + c] - l_ref[gi * n + gj]).abs();
-                        max_err = max_err.max(err);
-                    }
-                }
-            }
-        }
-    }
-    assert!(max_err < 1e-9, "max |L - L_ref| = {max_err}");
+    let max_err = report
+        .metrics
+        .iter()
+        .find(|(name, _)| *name == "max_factor_err")
+        .map(|(_, v)| *v)
+        .unwrap_or(f64::NAN);
     println!(
-        "tile Cholesky {n}×{n} ({NT}×{NT} tiles of {B}×{B}): \
-         {} tasks on {places} places in {elapsed:.2?}",
-        stats.executed
+        "tile Cholesky {n}×{n} ({nt}×{nt} tiles of {b}×{b}): \
+         {} tasks on {places} places in {:.2?}",
+        report.executed, report.elapsed
     );
     println!("max deviation from dense reference: {max_err:.2e}");
     println!("\nTasks were prioritized by panel (critical path): the paper's");

@@ -9,7 +9,7 @@
 //!
 //! Run with: `cargo run --release --example k_tradeoff`
 
-use priosched::core::{CentralizedKPriority, HybridKPriority, PoolHandle, PoolKind, TaskPool};
+use priosched::core::{PoolBuilder, PoolHandle, PoolKind, TaskPool};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -70,12 +70,19 @@ fn main() {
     );
     println!("{:->8}-+-{:->24}-+-{:->24}", "", "", "");
     for k in [1usize, 4, 16, 64, 256, 1024] {
-        let (c_mean, c_max) = measure(
-            Arc::new(CentralizedKPriority::<u64>::new(2, k.max(1) as u32)),
-            k,
-            ops,
-        );
-        let (h_mean, h_max) = measure(Arc::new(HybridKPriority::<u64>::new(2)), k, ops);
+        // kmax = k pins the centralized window to exactly the swept bound
+        // (PoolBuilder::k alone would widen it to the paper's 512 floor).
+        let centralized = PoolBuilder::new(PoolKind::Centralized)
+            .places(2)
+            .k(k)
+            .kmax(k.max(1) as u32)
+            .build::<u64>();
+        let (c_mean, c_max) = measure(centralized, k, ops);
+        let hybrid = PoolBuilder::new(PoolKind::Hybrid)
+            .places(2)
+            .k(k)
+            .build::<u64>();
+        let (h_mean, h_max) = measure(hybrid, k, ops);
         println!(
             "{k:>8} | {:>15.2} / {:>5} | {:>15.2} / {:>5}",
             c_mean, c_max, h_mean, h_max

@@ -1,159 +1,36 @@
-//! Best-first branch-and-bound 0/1 knapsack on the priority scheduler.
+//! Best-first branch-and-bound 0/1 knapsack — thin wrapper over
+//! [`priosched::workloads::KnapsackWorkload`].
 //!
 //! The paper motivates priority scheduling with applications whose task
 //! order matters (§1). Branch-and-bound is the classic case: exploring
 //! nodes with the best upper bound first finds the optimum sooner and lets
 //! bound-based pruning kill most of the tree — and pruned tasks are exactly
-//! the paper's *dead tasks* (§5.1), eliminated lazily at pop time.
-//!
-//! Priorities here are `u64::MAX − upper_bound`, so "smaller is better"
-//! (the scheduler's convention) prefers the most promising subtree.
+//! the paper's *dead tasks* (§5.1), eliminated lazily at pop time. The
+//! solver (greedy fractional bound, incumbent pruning, exact DP oracle)
+//! lives in `crates/workloads`; this example sweeps the relaxation
+//! parameter `k` to show the work/synchronization trade-off.
 //!
 //! Run with: `cargo run --release --example knapsack_branch_bound`
 
-use priosched::core::{HybridKPriority, Scheduler, SpawnCtx, TaskExecutor};
-use std::sync::atomic::{AtomicU64, Ordering};
-
-#[derive(Clone, Copy, Debug)]
-struct Item {
-    weight: u64,
-    value: u64,
-}
-
-/// A branch-and-bound node: the next item index to decide, plus the weight
-/// and value accumulated so far.
-#[derive(Clone, Copy, Debug)]
-struct Node {
-    idx: u32,
-    weight: u64,
-    value: u64,
-}
-
-struct Knapsack {
-    items: Vec<Item>, // sorted by value density, for the greedy bound
-    capacity: u64,
-    best: AtomicU64,
-    explored: AtomicU64,
-    k: usize,
-}
-
-impl Knapsack {
-    /// Greedy fractional upper bound from `node` onward — admissible, so
-    /// pruning on it is safe.
-    fn upper_bound(&self, node: &Node) -> u64 {
-        let mut bound = node.value as f64;
-        let mut room = (self.capacity - node.weight) as f64;
-        for it in &self.items[node.idx as usize..] {
-            if room <= 0.0 {
-                break;
-            }
-            let take = (it.weight as f64).min(room);
-            bound += take * it.value as f64 / it.weight as f64;
-            room -= take;
-        }
-        bound.ceil() as u64
-    }
-
-    fn priority(&self, node: &Node) -> u64 {
-        u64::MAX - self.upper_bound(node)
-    }
-}
-
-impl TaskExecutor<Node> for Knapsack {
-    /// A node whose bound can no longer beat the incumbent is dead.
-    fn is_dead(&self, node: &Node) -> bool {
-        self.upper_bound(node) <= self.best.load(Ordering::Relaxed)
-    }
-
-    fn execute(&self, node: Node, ctx: &mut SpawnCtx<'_, Node>) {
-        self.explored.fetch_add(1, Ordering::Relaxed);
-        // Leaf or incumbent update.
-        self.best.fetch_max(node.value, Ordering::Relaxed);
-        if node.idx as usize == self.items.len() {
-            return;
-        }
-        let item = self.items[node.idx as usize];
-        // Branch: include (if it fits), then exclude.
-        if node.weight + item.weight <= self.capacity {
-            let child = Node {
-                idx: node.idx + 1,
-                weight: node.weight + item.weight,
-                value: node.value + item.value,
-            };
-            if self.upper_bound(&child) > self.best.load(Ordering::Relaxed) {
-                ctx.spawn(self.priority(&child), self.k, child);
-            }
-        }
-        let child = Node {
-            idx: node.idx + 1,
-            ..node
-        };
-        if self.upper_bound(&child) > self.best.load(Ordering::Relaxed) {
-            ctx.spawn(self.priority(&child), self.k, child);
-        }
-    }
-}
-
-/// Reference solution by dynamic programming (exact, O(n·capacity)).
-fn dp_optimum(items: &[Item], capacity: u64) -> u64 {
-    let mut best = vec![0u64; capacity as usize + 1];
-    for it in items {
-        for w in (it.weight..=capacity).rev() {
-            best[w as usize] = best[w as usize].max(best[(w - it.weight) as usize] + it.value);
-        }
-    }
-    best[capacity as usize]
-}
+use priosched::core::{PoolKind, PoolParams};
+use priosched::workloads::{run_workload, KnapsackWorkload};
 
 fn main() {
-    // Deterministic pseudo-random instance.
-    let mut state = 0x1234_5678_9ABC_DEF0u64;
-    let mut rand = move || {
-        state ^= state << 13;
-        state ^= state >> 7;
-        state ^= state << 17;
-        state
-    };
-    let n = 36;
-    let capacity = 4_000u64;
-    let mut items: Vec<Item> = (0..n)
-        .map(|_| Item {
-            weight: 100 + rand() % 400,
-            value: 50 + rand() % 500,
-        })
-        .collect();
-    // Density order makes the greedy bound tight.
-    items.sort_by(|a, b| {
-        (b.value * a.weight).cmp(&(a.value * b.weight)) // v/w descending
-    });
-
-    let expected = dp_optimum(&items, capacity);
-    println!("0/1 knapsack: {n} items, capacity {capacity}; DP optimum = {expected}\n");
+    let workload = KnapsackWorkload::random(36, 4_000, 0x1234_5678_9ABC_DEF0);
+    println!(
+        "0/1 knapsack: 36 items, capacity 4000; DP optimum = {}\n",
+        workload.oracle()
+    );
 
     for k in [1usize, 64, 4096] {
-        let solver = Knapsack {
-            items: items.clone(),
-            capacity,
-            best: AtomicU64::new(0),
-            explored: AtomicU64::new(0),
-            k,
-        };
-        let root = Node {
-            idx: 0,
-            weight: 0,
-            value: 0,
-        };
-        let prio = solver.priority(&root);
-        let scheduler = Scheduler::from_pool(HybridKPriority::new(4));
-        let t0 = std::time::Instant::now();
-        let stats = scheduler.run(&solver, vec![(prio, k, root)]);
-        let found = solver.best.load(Ordering::Relaxed);
-        assert_eq!(found, expected, "branch-and-bound must find the optimum");
+        let report = run_workload(&workload, PoolKind::Hybrid, 4, PoolParams::with_k(k));
+        report.expect_verified();
         println!(
-            "k = {k:<5} optimum {found} in {:>8.2?}; explored {:>7} nodes, pruned-as-dead {:>7}",
-            t0.elapsed(),
-            stats.executed,
-            stats.dead
+            "k = {k:<5} optimum {} in {:>8.2?}; explored {:>7} nodes, pruned-as-dead {:>7}",
+            workload.oracle(),
+            report.elapsed,
+            report.executed,
+            report.dead
         );
     }
     println!("\nSmaller k = stronger best-first order = fewer explored nodes,");

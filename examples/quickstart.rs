@@ -6,10 +6,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use priosched::core::{
-    CentralizedKPriority, HybridKPriority, PoolKind, PriorityWorkStealing, Scheduler, SpawnCtx,
-    TaskExecutor,
-};
+use priosched::core::{run_on_kind, PoolKind, PoolParams, SpawnCtx, TaskExecutor};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A task is (depth, width-index); executing it spawns `FANOUT` children
@@ -39,16 +36,9 @@ fn run_with(kind: PoolKind, places: usize) {
         executed: AtomicU64::new(0),
     };
     let roots = vec![(0u64, K, (0u64, 0u64))];
-    let stats = match kind {
-        PoolKind::WorkStealing => {
-            Scheduler::from_pool(PriorityWorkStealing::new(places)).run(&exec, roots)
-        }
-        PoolKind::Centralized => {
-            Scheduler::from_pool(CentralizedKPriority::with_defaults(places)).run(&exec, roots)
-        }
-        PoolKind::Hybrid => Scheduler::from_pool(HybridKPriority::new(places)).run(&exec, roots),
-        PoolKind::Structural => unreachable!("not exercised in the quickstart"),
-    };
+    // One dispatch before the run; the scheduling loop itself is
+    // monomorphized per structure (see priosched::core::facade).
+    let stats = run_on_kind(kind, places, PoolParams::default(), &exec, roots);
     let expected: u64 = (0..=MAX_DEPTH).map(|d| FANOUT.pow(d as u32)).sum();
     assert_eq!(stats.executed, expected);
     println!(

@@ -34,12 +34,7 @@ fn main() {
         "Sequential", seq_time, seq.relaxations
     );
 
-    let cfg = SsspConfig {
-        places,
-        k,
-        kmax: 512,
-        eliminate_dead: true,
-    };
+    let cfg = SsspConfig::new(places, k);
     for kind in PoolKind::PAPER {
         // Threaded run: correctness + wall time on this host.
         let res = run_sssp_kind(kind, &graph, 0, &cfg);

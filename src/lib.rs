@@ -15,7 +15,10 @@
 //! * [`pq`] — sequential priority queues (place-local components);
 //! * [`graph`] — Erdős–Rényi graphs + sequential Dijkstra baseline;
 //! * [`sssp`] — the parallel SSSP application;
-//! * [`sim`] — phase simulator + Theorem 5 bounds.
+//! * [`sim`] — phase simulator + Theorem 5 bounds;
+//! * [`workloads`] — first-class benchmark workloads (SSSP, tile Cholesky,
+//!   branch-and-bound knapsack, bi-objective SSSP), each verified against a
+//!   sequential oracle and sweepable by the `schedbench` harness.
 //!
 //! ## Quick start
 //!
@@ -60,6 +63,7 @@ pub use priosched_graph as graph;
 pub use priosched_pq as pq;
 pub use priosched_sim as sim;
 pub use priosched_sssp as sssp;
+pub use priosched_workloads as workloads;
 
 /// Workspace version, for examples that print provenance.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

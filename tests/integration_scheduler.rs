@@ -4,8 +4,7 @@
 
 use priosched::core::task::{FinishRegion, RegionGuard};
 use priosched::core::{
-    CentralizedKPriority, HybridKPriority, PoolKind, PriorityWorkStealing, Scheduler, SpawnCtx,
-    TaskExecutor,
+    run_on_kind, HybridKPriority, PoolKind, PoolParams, Scheduler, SpawnCtx, TaskExecutor,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -94,19 +93,17 @@ impl TaskExecutor<(u64, usize)> for MixedK {
 
 #[test]
 fn per_task_k_values_coexist() {
-    for kind in PoolKind::PAPER {
+    for kind in PoolKind::ALL {
         let exec = MixedK {
             executed: AtomicU64::new(0),
         };
-        let stats = match kind {
-            PoolKind::WorkStealing => Scheduler::from_pool(PriorityWorkStealing::new(3))
-                .run(&exec, vec![(0, 1, (0u64, 1usize))]),
-            PoolKind::Centralized => Scheduler::from_pool(CentralizedKPriority::with_defaults(3))
-                .run(&exec, vec![(0, 1, (0u64, 1usize))]),
-            PoolKind::Hybrid => Scheduler::from_pool(HybridKPriority::new(3))
-                .run(&exec, vec![(0, 1, (0u64, 1usize))]),
-            PoolKind::Structural => unreachable!(),
-        };
+        let stats = run_on_kind(
+            kind,
+            3,
+            PoolParams::default(),
+            &exec,
+            vec![(0, 1, (0u64, 1usize))],
+        );
         // Binary tree of depth 6: 2^7 − 1 nodes.
         assert_eq!(stats.executed, 127, "{kind}");
         assert_eq!(exec.executed.load(Ordering::Relaxed), 127);
@@ -136,22 +133,13 @@ impl TaskExecutor<u64> for Irregular {
 
 #[test]
 fn irregular_dag_exactly_once() {
-    for kind in PoolKind::PAPER {
+    for kind in PoolKind::ALL {
         let exec = Irregular {
             executed: AtomicU64::new(0),
             total_spawned: AtomicU64::new(0),
         };
         let roots: Vec<(u64, usize, u64)> = (0..8u64).map(|i| (i, 16usize, i)).collect();
-        let stats = match kind {
-            PoolKind::WorkStealing => {
-                Scheduler::from_pool(PriorityWorkStealing::new(4)).run(&exec, roots)
-            }
-            PoolKind::Centralized => {
-                Scheduler::from_pool(CentralizedKPriority::with_defaults(4)).run(&exec, roots)
-            }
-            PoolKind::Hybrid => Scheduler::from_pool(HybridKPriority::new(4)).run(&exec, roots),
-            PoolKind::Structural => unreachable!(),
-        };
+        let stats = run_on_kind(kind, 4, PoolParams::default(), &exec, roots);
         let expected = 8 + exec.total_spawned.load(Ordering::Relaxed);
         assert_eq!(
             exec.executed.load(Ordering::Relaxed),

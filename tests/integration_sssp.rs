@@ -8,13 +8,6 @@ use priosched::graph::{bellman_ford, dijkstra, erdos_renyi, CsrGraph, ErdosRenyi
 use priosched::sim::{simulate_sssp, SimConfig};
 use priosched::sssp::{run_sssp_kind, run_sssp_lockstep_kind, SsspConfig};
 
-const ALL_KINDS: [PoolKind; 4] = [
-    PoolKind::WorkStealing,
-    PoolKind::Centralized,
-    PoolKind::Hybrid,
-    PoolKind::Structural,
-];
-
 #[test]
 fn grid_of_structures_places_and_k() {
     let g = erdos_renyi(&ErdosRenyiConfig {
@@ -23,15 +16,10 @@ fn grid_of_structures_places_and_k() {
         seed: 501,
     });
     let expect = dijkstra(&g, 0).dist;
-    for kind in ALL_KINDS {
+    for kind in PoolKind::ALL {
         for places in [1usize, 2, 4] {
             for k in [1usize, 16, 512] {
-                let cfg = SsspConfig {
-                    places,
-                    k,
-                    kmax: 512,
-                    eliminate_dead: true,
-                };
+                let cfg = SsspConfig::new(places, k);
                 let res = run_sssp_kind(kind, &g, 0, &cfg);
                 assert_eq!(res.dist, expect, "{kind} P={places} k={k}");
             }
@@ -47,12 +35,7 @@ fn lockstep_and_threaded_agree_with_each_other() {
         seed: 502,
     });
     for kind in PoolKind::PAPER {
-        let cfg = SsspConfig {
-            places: 4,
-            k: 64,
-            kmax: 512,
-            eliminate_dead: true,
-        };
+        let cfg = SsspConfig::new(4, 64);
         let threaded = run_sssp_kind(kind, &g, 0, &cfg);
         let lockstep = run_sssp_lockstep_kind(kind, &g, 0, &cfg);
         assert_eq!(threaded.dist, lockstep.dist, "{kind}");
@@ -71,18 +54,7 @@ fn three_independent_solvers_agree() {
     });
     let a = dijkstra(&g, 3).dist;
     let b = bellman_ford(&g, 3);
-    let c = run_sssp_kind(
-        PoolKind::Hybrid,
-        &g,
-        3,
-        &SsspConfig {
-            places: 3,
-            k: 32,
-            kmax: 512,
-            eliminate_dead: true,
-        },
-    )
-    .dist;
+    let c = run_sssp_kind(PoolKind::Hybrid, &g, 3, &SsspConfig::new(3, 32)).dist;
     let d = simulate_sssp(
         &g,
         3,
@@ -104,12 +76,7 @@ fn sparse_and_dense_graph_families() {
         let g = erdos_renyi(&ErdosRenyiConfig { n, p, seed });
         let expect = dijkstra(&g, 0).dist;
         for kind in PoolKind::PAPER {
-            let cfg = SsspConfig {
-                places: 2,
-                k: 8,
-                kmax: 64,
-                eliminate_dead: true,
-            };
+            let cfg = SsspConfig::new(2, 8).kmax(64);
             let res = run_sssp_kind(kind, &g, 0, &cfg);
             assert_eq!(res.dist, expect, "{kind} n={n} p={p}");
         }
@@ -126,12 +93,7 @@ fn pathological_graphs() {
         let g = CsrGraph::from_undirected_edges(n, &edges);
         let expect = dijkstra(&g, 0).dist;
         for kind in PoolKind::PAPER {
-            let cfg = SsspConfig {
-                places: 3,
-                k: 4,
-                kmax: 64,
-                eliminate_dead: true,
-            };
+            let cfg = SsspConfig::new(3, 4).kmax(64);
             let res = run_sssp_kind(kind, &g, 0, &cfg);
             assert_eq!(res.dist, expect, "{kind} on {name}");
         }
@@ -147,12 +109,7 @@ fn useless_work_ordering_between_structures_holds_deterministically() {
         p: 0.5,
         seed: 507,
     });
-    let cfg = SsspConfig {
-        places: 32,
-        k: 64,
-        kmax: 512,
-        eliminate_dead: true,
-    };
+    let cfg = SsspConfig::new(32, 64);
     let ws = run_sssp_lockstep_kind(PoolKind::WorkStealing, &g, 0, &cfg).relaxed;
     let ce = run_sssp_lockstep_kind(PoolKind::Centralized, &g, 0, &cfg).relaxed;
     let hy = run_sssp_lockstep_kind(PoolKind::Hybrid, &g, 0, &cfg).relaxed;
