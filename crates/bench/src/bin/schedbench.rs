@@ -7,28 +7,63 @@
 //! regenerable with one command instead of being one-off artifacts.
 //!
 //! ```text
-//! schedbench [--smoke] [--workloads sssp,cholesky,knapsack,mo_sssp]
+//! schedbench [--smoke] [--workloads sssp,bfs,cholesky,knapsack,mo_sssp]
 //!            [--kinds work_stealing,centralized,hybrid,structural]
 //!            [--places 1,2,4] [--k 512] [--chunks 0] [--reps 3]
-//!            [--out FILE.json]
+//!            [--ingest PRODUCERSxCHUNK,…] [--out FILE.json]
 //! ```
 //!
 //! * `--smoke` shrinks every instance and runs one rep — the CI job that
 //!   keeps example-derived workloads from rotting.
 //! * `--chunks` sweeps the spawn-batch chunk bound for the workloads that
 //!   batch their spawns (sssp, mo_sssp); `0` = one batch per expansion.
+//! * `--ingest` switches the sweep to the open-world path: each cell like
+//!   `4x32` feeds the instance's seeds through sharded ingestion lanes
+//!   from 4 producer threads in submission chunks of 32 (see
+//!   `run_workload_streamed`), still verified against the same oracle.
+//!   Without the flag, seeds are preseeded as roots (the closed-world
+//!   baseline).
 //! * Any oracle mismatch aborts with a nonzero exit code.
 
 use priosched_core::{PoolKind, PoolParams};
 use priosched_workloads::{
-    bench_record, CholeskyWorkload, DynWorkload, KnapsackWorkload, MoSsspWorkload, SsspWorkload,
-    WorkloadReport,
+    bench_record, BfsWorkload, CholeskyWorkload, DynWorkload, KnapsackWorkload, MoSsspWorkload,
+    SsspWorkload, WorkloadReport,
 };
 use std::io::Write;
 use std::path::PathBuf;
 
 /// Workload names in sweep order.
-const WORKLOADS: [&str; 4] = ["sssp", "cholesky", "knapsack", "mo_sssp"];
+const WORKLOADS: [&str; 5] = ["sssp", "bfs", "cholesky", "knapsack", "mo_sssp"];
+
+/// One `--ingest` cell: producer-thread count × submission-chunk size.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct IngestCell {
+    producers: usize,
+    chunk: usize,
+}
+
+impl std::str::FromStr for IngestCell {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (p, c) = s
+            .split_once(['x', 'X'])
+            .ok_or_else(|| format!("expected PRODUCERSxCHUNK (e.g. 4x32), got {s:?}"))?;
+        let producers = p
+            .trim()
+            .parse()
+            .map_err(|e| format!("bad producer count in {s:?}: {e}"))?;
+        let chunk = c
+            .trim()
+            .parse()
+            .map_err(|e| format!("bad chunk size in {s:?}: {e}"))?;
+        if producers == 0 {
+            return Err(format!("{s:?}: producer count must be positive"));
+        }
+        Ok(IngestCell { producers, chunk })
+    }
+}
 
 struct Args {
     smoke: bool,
@@ -37,6 +72,7 @@ struct Args {
     places: Vec<usize>,
     ks: Vec<usize>,
     chunks: Vec<usize>,
+    ingest: Vec<IngestCell>,
     reps: usize,
     out: Option<PathBuf>,
 }
@@ -65,6 +101,7 @@ impl Args {
             places: vec![1, 2, 4],
             ks: vec![512],
             chunks: vec![0],
+            ingest: Vec::new(),
             reps: 3,
             out: None,
         };
@@ -98,12 +135,13 @@ impl Args {
                 "--places" => cfg.places = parse_list("--places", &take("--places")),
                 "--k" => cfg.ks = parse_list("--k", &take("--k")),
                 "--chunks" => cfg.chunks = parse_list("--chunks", &take("--chunks")),
+                "--ingest" => cfg.ingest = parse_list("--ingest", &take("--ingest")),
                 "--reps" => cfg.reps = take("--reps").parse().expect("--reps wants an integer"),
                 "--out" => cfg.out = Some(PathBuf::from(take("--out"))),
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --smoke | --workloads LIST | --kinds LIST | --places LIST \
-                         | --k LIST | --chunks LIST | --reps N | --out FILE"
+                         | --k LIST | --chunks LIST | --ingest PxC,… | --reps N | --out FILE"
                     );
                     std::process::exit(0);
                 }
@@ -130,8 +168,16 @@ fn make_workload(name: &str, smoke: bool, chunk: usize) -> Option<Box<dyn DynWor
         } else {
             MoSsspWorkload::random(60, 0.12, 99).spawn_chunk(chunk)
         })),
-        // Cholesky and knapsack spawn scalar tasks (one child per retired
-        // dependency / branch); the chunk axis does not apply.
+        // BFS, Cholesky and knapsack have no spawn-chunk knob (BFS batches
+        // one expansion per spawn_batch; the other two spawn scalar
+        // tasks); the chunk axis does not apply.
+        // Multi-source frontier: the wide seed stream gives the --ingest
+        // axis real sharding work (hundreds of seeds, not one root).
+        "bfs" if chunk == 0 => Some(Box::new(if smoke {
+            BfsWorkload::random_multi(150, 0.06, 2000, 16)
+        } else {
+            BfsWorkload::random_multi(1_200, 0.01, 2000, 128)
+        })),
         "cholesky" if chunk == 0 => Some(Box::new(if smoke {
             CholeskyWorkload::random(3, 8, 0xFEED_FACE)
         } else {
@@ -147,14 +193,18 @@ fn make_workload(name: &str, smoke: bool, chunk: usize) -> Option<Box<dyn DynWor
 }
 
 /// One aggregated sweep cell in the `BENCH_batch.json` record format
-/// (the shape itself is defined once, in `priosched_workloads`).
-fn json_record(reports: &[WorkloadReport], chunk: usize) -> String {
-    let chunk_tag = if chunk > 0 {
+/// (the shape itself is defined once, in `priosched_workloads`). Streamed
+/// cells extend the id with an `_iPRODUCERSxCHUNK` tag.
+fn json_record(reports: &[WorkloadReport], chunk: usize, ingest: Option<IngestCell>) -> String {
+    let mut suffix = if chunk > 0 {
         format!("_c{chunk}")
     } else {
         String::new()
     };
-    bench_record(reports, &chunk_tag)
+    if let Some(cell) = ingest {
+        suffix.push_str(&format!("_i{}x{}", cell.producers, cell.chunk));
+    }
+    bench_record(reports, &suffix)
 }
 
 fn main() {
@@ -163,12 +213,23 @@ fn main() {
         .map(|c| c.get())
         .unwrap_or(1);
     println!(
-        "schedbench: {} workload(s) × {} kind(s) × places {:?} × k {:?} × chunks {:?}, {} rep(s)",
+        "schedbench: {} workload(s) × {} kind(s) × places {:?} × k {:?} × chunks {:?}{}, {} rep(s)",
         args.workloads.len(),
         args.kinds.len(),
         args.places,
         args.ks,
         args.chunks,
+        if args.ingest.is_empty() {
+            " (preseeded)".to_string()
+        } else {
+            format!(
+                " × ingest {:?}",
+                args.ingest
+                    .iter()
+                    .map(|c| format!("{}x{}", c.producers, c.chunk))
+                    .collect::<Vec<_>>()
+            )
+        },
         args.reps
     );
     println!(
@@ -176,8 +237,8 @@ fn main() {
         if args.smoke { "; smoke sizes" } else { "" }
     );
     println!(
-        "{:<10} {:<14} {:>2} {:>6} {:>6} | {:>11} {:>9} {:>7}  oracle",
-        "workload", "structure", "P", "k", "chunk", "mean", "tasks", "dead"
+        "{:<10} {:<14} {:>2} {:>6} {:>6} {:>7} | {:>11} {:>9} {:>7}  oracle",
+        "workload", "structure", "P", "k", "chunk", "ingest", "mean", "tasks", "dead"
     );
 
     let mut records = Vec::new();
@@ -191,38 +252,61 @@ fn main() {
                 continue;
             };
             cells_for_workload += 1;
+            // Preseeded baseline when --ingest is absent; otherwise every
+            // producers×chunk cell is its own streamed sweep cell.
+            let modes: Vec<Option<IngestCell>> = if args.ingest.is_empty() {
+                vec![None]
+            } else {
+                args.ingest.iter().copied().map(Some).collect()
+            };
             for &kind in &args.kinds {
                 for &places in &args.places {
                     for &k in &args.ks {
                         let params = PoolParams::with_k(k);
-                        let reports: Vec<WorkloadReport> = (0..args.reps)
-                            .map(|_| workload.run(kind, places, params))
-                            .collect();
-                        let mean_ms = reports
-                            .iter()
-                            .map(|r| r.elapsed.as_secs_f64() * 1e3)
-                            .sum::<f64>()
-                            / reports.len() as f64;
-                        let bad = reports.iter().find(|r| !r.verified());
-                        println!(
-                            "{:<10} {:<14} {:>2} {:>6} {:>6} | {:>9.3}ms {:>9} {:>7}  {}",
-                            name,
-                            kind.label(),
-                            places,
-                            k,
-                            chunk,
-                            mean_ms,
-                            reports[0].executed,
-                            reports[0].dead,
-                            match bad {
-                                None => "ok".to_string(),
-                                Some(r) => format!("MISMATCH: {}", r.verify.as_ref().unwrap_err()),
+                        for &mode in &modes {
+                            let reports: Vec<WorkloadReport> = (0..args.reps)
+                                .map(|_| match mode {
+                                    None => workload.run(kind, places, params),
+                                    Some(cell) => workload.run_streamed(
+                                        kind,
+                                        places,
+                                        params,
+                                        cell.producers,
+                                        cell.chunk,
+                                    ),
+                                })
+                                .collect();
+                            let mean_ms = reports
+                                .iter()
+                                .map(|r| r.elapsed.as_secs_f64() * 1e3)
+                                .sum::<f64>()
+                                / reports.len() as f64;
+                            let bad = reports.iter().find(|r| !r.verified());
+                            println!(
+                                "{:<10} {:<14} {:>2} {:>6} {:>6} {:>7} | {:>9.3}ms {:>9} {:>7}  {}",
+                                name,
+                                kind.label(),
+                                places,
+                                k,
+                                chunk,
+                                match mode {
+                                    None => "-".to_string(),
+                                    Some(cell) => format!("{}x{}", cell.producers, cell.chunk),
+                                },
+                                mean_ms,
+                                reports[0].executed,
+                                reports[0].dead,
+                                match bad {
+                                    None => "ok".to_string(),
+                                    Some(r) =>
+                                        format!("MISMATCH: {}", r.verify.as_ref().unwrap_err()),
+                                }
+                            );
+                            if bad.is_some() {
+                                failures += 1;
                             }
-                        );
-                        if bad.is_some() {
-                            failures += 1;
+                            records.push(json_record(&reports, chunk, mode));
                         }
-                        records.push(json_record(&reports, chunk));
                     }
                 }
             }

@@ -24,8 +24,10 @@
 
 use crate::centralized::{CentralizedHandle, CentralizedKPriority};
 use crate::hybrid::{HybridHandle, HybridKPriority};
+use crate::ingest::IngressLanes;
 use crate::pool::{PoolHandle, PoolKind, PoolParams, TaskPool};
 use crate::scheduler::{RunStats, Scheduler, TaskExecutor};
+use crate::service::PoolService;
 use crate::stats::PlaceStats;
 use crate::structural::{StructuralHandle, StructuralKPriority};
 use crate::workstealing::{PriorityWorkStealing, WorkStealingHandle};
@@ -197,6 +199,40 @@ where
     }
 }
 
+/// Streamed sibling of [`run_on_kind`]: runs `executor` over `roots` *plus*
+/// everything submitted through `ingress` handles while the pool drains,
+/// returning at quiescence (see [`Scheduler::run_stream`]).
+///
+/// Like [`run_on_kind`], dispatch happens once, before the run — every arm
+/// monomorphizes `run_stream` against the concrete structure, so all four
+/// structures get the streamed lifecycle with zero per-operation cost.
+pub fn run_stream_on_kind<T, E>(
+    kind: PoolKind,
+    places: usize,
+    params: PoolParams,
+    executor: &E,
+    roots: Vec<(u64, usize, T)>,
+    ingress: &IngressLanes<T>,
+) -> RunStats
+where
+    T: Send + 'static,
+    E: TaskExecutor<T>,
+{
+    match kind {
+        PoolKind::WorkStealing => Scheduler::from_pool(PriorityWorkStealing::new(places))
+            .run_stream(executor, roots, ingress),
+        PoolKind::Centralized => {
+            Scheduler::from_pool(CentralizedKPriority::new(places, params.kmax))
+                .run_stream(executor, roots, ingress)
+        }
+        PoolKind::Hybrid => {
+            Scheduler::from_pool(HybridKPriority::new(places)).run_stream(executor, roots, ingress)
+        }
+        PoolKind::Structural => Scheduler::from_pool(StructuralKPriority::new(places, params.k))
+            .run_stream(executor, roots, ingress),
+    }
+}
+
 /// Fluent front door over [`PoolKind::build`] / [`run_on_kind`].
 ///
 /// ```
@@ -272,6 +308,40 @@ impl PoolBuilder {
         E: TaskExecutor<T>,
     {
         run_on_kind(self.kind, self.places, self.params, executor, roots)
+    }
+
+    /// Streamed sibling of [`PoolBuilder::run`] (see [`run_stream_on_kind`]).
+    pub fn run_stream<T, E>(
+        &self,
+        executor: &E,
+        roots: Vec<(u64, usize, T)>,
+        ingress: &IngressLanes<T>,
+    ) -> RunStats
+    where
+        T: Send + 'static,
+        E: TaskExecutor<T>,
+    {
+        run_stream_on_kind(
+            self.kind,
+            self.places,
+            self.params,
+            executor,
+            roots,
+            ingress,
+        )
+    }
+
+    /// Starts a long-lived [`PoolService`] over a freshly built pool of
+    /// this builder's kind: one worker thread per place, accepting
+    /// [`PoolService::submit`] / external [`crate::IngestHandle`]
+    /// submissions until shutdown. The open-world front door for all four
+    /// structures.
+    pub fn service<T, E>(&self, executor: Arc<E>) -> PoolService<T>
+    where
+        T: Send + 'static,
+        E: TaskExecutor<T> + Send + Sync + 'static,
+    {
+        PoolService::start(self.build::<T>(), executor)
     }
 }
 

@@ -1,0 +1,438 @@
+//! Sharded ingestion lanes: feeding tasks into a *running* pool.
+//!
+//! The paper's runtime (§2) is closed-world — every root is known at
+//! [`crate::scheduler::Scheduler::run`] time and termination is a single
+//! outstanding-task counter hitting zero. A pool that serves external
+//! traffic needs the opposite: producers that are **not** workers must be
+//! able to submit prioritized tasks while the pool is draining, without
+//! funnelling through one contended entry point.
+//!
+//! This module supplies the open-world half:
+//!
+//! * [`IngressLanes`] — one MPSC lane per place. Producers append under a
+//!   short per-lane lock; the place's worker moves whole lane contents into
+//!   its pool handle at the *pop boundary* (between task executions), so the
+//!   scheduler-module ordering argument is untouched: no task batch is ever
+//!   popped ahead of execution, and a freshly spawned better-priority task
+//!   can never get stuck behind pre-popped ingested work.
+//! * [`IngestHandle`] — a cloneable producer handle. Submissions are
+//!   round-robined across lanes so ingestion itself shards; batch
+//!   submissions ride one lane (one lock) and are charged element-wise
+//!   against the `k`/ρ bounds when drained, exactly like
+//!   [`crate::scheduler::SpawnCtx::spawn_batch`].
+//!
+//! # Quiescence
+//!
+//! With external producers, "counter is zero" is no longer termination —
+//! a producer might be about to submit. Termination generalizes to
+//! **quiescence**: the pending counter is zero **and** every lane is empty
+//! **and** every [`IngestHandle`] has been dropped (a producer refcount).
+//! The refcount makes the open world closable: dropping the last handle is
+//! the producers' collective "no more input" signal, after which the usual
+//! drain argument applies.
+//!
+//! The check order matters and is fixed in [`IngressShared::quiescent`]:
+//! producers first, then the queued count, then (in the scheduler) the
+//! pending counter. Under the usage contract — every producer handle is
+//! minted **before** the streamed run starts, and new handles come only
+//! from cloning live ones while the run is in flight — a producer count
+//! that reads zero can never rise again, so all queued increments have
+//! happened; a lane→pool transfer increments `pending` *before*
+//! decrementing `queued`, so a task is always visible to at least one of
+//! the two counters; reading `queued == 0` after `producers == 0` and
+//! `pending == 0` last therefore proves nothing is left anywhere.
+//!
+//! [`IngressLanes::handle`] *can* re-arm a drained set of lanes (the count
+//! goes 0 → 1 again); that is how the same lanes feed a *subsequent*
+//! streamed run. What the contract rules out is racing such a mint against
+//! a run that is already terminating — see [`IngressLanes::handle`].
+
+use crate::pool::PoolHandle;
+use crossbeam_utils::CachePadded;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// One queued submission: priority, relaxation bound, payload.
+type Entry<T> = (u64, usize, T);
+
+/// One MPSC lane: producer-locked, cache-line-padded against its
+/// neighbours.
+type Lane<T> = CachePadded<Mutex<Vec<Entry<T>>>>;
+
+/// Shared state behind [`IngressLanes`] and every [`IngestHandle`].
+pub(crate) struct IngressShared<T: Send> {
+    /// One MPSC lane per place; workers drain their own index.
+    lanes: Box<[Lane<T>]>,
+    /// Tasks submitted but not yet transferred into the pool. Incremented
+    /// before the lane push; decremented only after the pool push (the
+    /// transfer increments the scheduler's pending counter first, so no
+    /// task is ever invisible to both counters).
+    queued: AtomicU64,
+    /// Live [`IngestHandle`] count. While a streamed run is in flight,
+    /// zero is absorbing *by contract*: clones need a live handle, and
+    /// minting fresh handles mid-run is ruled out (see
+    /// [`IngressLanes::handle`]); the lanes object itself is not a
+    /// producer.
+    producers: AtomicUsize,
+    /// Round-robin seed so successive handles start on different lanes.
+    next_lane: AtomicUsize,
+}
+
+impl<T: Send> IngressShared<T> {
+    /// `true` when no producer can ever submit again and every lane has
+    /// been transferred into the pool. Combined with `pending == 0` (read
+    /// *after* this, see module docs) this is the streamed termination
+    /// condition.
+    pub(crate) fn quiescent(&self) -> bool {
+        self.producers.load(Ordering::Acquire) == 0 && self.queued.load(Ordering::Acquire) == 0
+    }
+
+    /// Cheap "is there anything to drain anywhere" hint.
+    pub(crate) fn queued_hint(&self) -> u64 {
+        self.queued.load(Ordering::Relaxed)
+    }
+
+    /// Moves the contents of lane `place` into `handle`, charging the
+    /// scheduler's `pending` counter before any task becomes poppable.
+    ///
+    /// Tasks are pushed through [`PoolHandle::push_batch`] in maximal
+    /// consecutive same-`k` runs, so a drained batch is charged
+    /// element-wise against the `k`/ρ bounds exactly as the equivalent
+    /// sequence of spawns would be. Uses `try_lock`: if a producer holds
+    /// the lane, the worker retries on its next pop boundary instead of
+    /// blocking (the queued count keeps termination honest meanwhile).
+    ///
+    /// `scratch` and `kbatch` are caller-owned reusable buffers; both are
+    /// left empty. Returns the number of tasks transferred.
+    pub(crate) fn drain_into(
+        &self,
+        place: usize,
+        handle: &mut dyn PoolHandle<T>,
+        pending: &AtomicU64,
+        scratch: &mut Vec<Entry<T>>,
+        kbatch: &mut Vec<(u64, T)>,
+    ) -> u64 {
+        debug_assert!(scratch.is_empty() && kbatch.is_empty());
+        {
+            let Some(mut lane) = self.lanes[place].try_lock() else {
+                return 0;
+            };
+            if lane.is_empty() {
+                return 0;
+            }
+            std::mem::swap(&mut *lane, scratch);
+        }
+        let n = scratch.len() as u64;
+        // Pending rises before the tasks are poppable *and* before queued
+        // falls — the task stays visible to the termination check
+        // throughout the transfer.
+        pending.fetch_add(n, Ordering::AcqRel);
+        let mut run_k: Option<usize> = None;
+        for (prio, k, task) in scratch.drain(..) {
+            if run_k != Some(k) {
+                if let Some(prev_k) = run_k.take() {
+                    handle.push_batch(prev_k, kbatch);
+                }
+                run_k = Some(k);
+            }
+            kbatch.push((prio, task));
+        }
+        if let Some(prev_k) = run_k {
+            handle.push_batch(prev_k, kbatch);
+        }
+        self.queued.fetch_sub(n, Ordering::AcqRel);
+        n
+    }
+}
+
+/// The per-place ingress lanes of one pool run (or service).
+///
+/// Create one with as many lanes as the pool has places, mint
+/// [`IngestHandle`]s for every producer **before** starting the streamed
+/// run (a run that observes zero producers and empty lanes terminates),
+/// then hand it to [`crate::Scheduler::run_stream`] /
+/// [`crate::facade::run_stream_on_kind`].
+///
+/// Tasks still sitting in lanes when the lanes (and all handles) are
+/// dropped are dropped exactly once, like any owned value — lanes store
+/// tasks by value and never hand out raw pointers.
+pub struct IngressLanes<T: Send> {
+    shared: Arc<IngressShared<T>>,
+}
+
+impl<T: Send> IngressLanes<T> {
+    /// Creates `lanes` empty ingress lanes (one per place of the pool this
+    /// will feed).
+    ///
+    /// # Panics
+    /// Panics if `lanes` is zero.
+    pub fn new(lanes: usize) -> Self {
+        assert!(lanes > 0, "IngressLanes needs at least one lane");
+        let lanes = (0..lanes)
+            .map(|_| CachePadded::new(Mutex::new(Vec::new())))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        IngressLanes {
+            shared: Arc::new(IngressShared {
+                lanes,
+                queued: AtomicU64::new(0),
+                producers: AtomicUsize::new(0),
+                next_lane: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// Number of lanes (== places of the pool this feeds).
+    pub fn num_lanes(&self) -> usize {
+        self.shared.lanes.len()
+    }
+
+    /// Mints a new producer handle, raising the producer refcount. The
+    /// handle starts on a different lane than the previous one so
+    /// producers spread across lanes even if each submits little.
+    ///
+    /// **Contract:** mint every producer's handle *before* the streamed
+    /// run it feeds starts (mid-run producers clone a live handle
+    /// instead). A run terminates the moment it observes zero producers
+    /// and nothing queued; a handle minted concurrently with that
+    /// observation re-arms the lanes for a *subsequent* run — its
+    /// submissions stay queued (visible via [`IngressLanes::queued`]) and
+    /// are only drained by the next `run_stream` over these lanes, or
+    /// dropped with them.
+    pub fn handle(&self) -> IngestHandle<T> {
+        self.shared.producers.fetch_add(1, Ordering::AcqRel);
+        let lane = self.shared.next_lane.fetch_add(1, Ordering::Relaxed) % self.num_lanes();
+        IngestHandle {
+            shared: Arc::clone(&self.shared),
+            lane,
+        }
+    }
+
+    /// Tasks submitted but not yet transferred into a pool.
+    pub fn queued(&self) -> u64 {
+        self.shared.queued.load(Ordering::Acquire)
+    }
+
+    /// Live producer handles.
+    pub fn producers(&self) -> usize {
+        self.shared.producers.load(Ordering::Acquire)
+    }
+
+    /// The shared state, for the scheduler/service side.
+    pub(crate) fn shared(&self) -> &Arc<IngressShared<T>> {
+        &self.shared
+    }
+}
+
+/// A producer's capability to submit tasks into a running pool.
+///
+/// Cloneable; each clone counts toward the producer refcount that gates
+/// streamed termination (see module docs). Drop every handle when the
+/// producer side is done — a retained handle keeps
+/// [`crate::Scheduler::run_stream`] (deliberately) waiting for more input.
+pub struct IngestHandle<T: Send> {
+    shared: Arc<IngressShared<T>>,
+    /// Lane cursor, advanced round-robin per submission.
+    lane: usize,
+}
+
+impl<T: Send> IngestHandle<T> {
+    /// Submits one task with priority `prio` (smaller = higher) and
+    /// relaxation bound `k` (§2.2), into the next lane in round-robin
+    /// order.
+    pub fn submit(&mut self, prio: u64, k: usize, task: T) {
+        self.shared.queued.fetch_add(1, Ordering::AcqRel);
+        let lane = self.advance();
+        self.shared.lanes[lane].lock().push((prio, k, task));
+    }
+
+    /// Submits a batch of `(prio, task)` pairs sharing the relaxation
+    /// bound `k`, draining `batch`. The whole batch rides one lane — one
+    /// lock acquisition — and is later transferred into the pool with one
+    /// [`PoolHandle::push_batch`], each element charged individually
+    /// against the `k`/ρ bounds.
+    pub fn submit_batch(&mut self, k: usize, batch: &mut Vec<(u64, T)>) {
+        if batch.is_empty() {
+            return;
+        }
+        self.shared
+            .queued
+            .fetch_add(batch.len() as u64, Ordering::AcqRel);
+        let lane = self.advance();
+        self.shared.lanes[lane]
+            .lock()
+            .extend(batch.drain(..).map(|(prio, task)| (prio, k, task)));
+    }
+
+    /// Number of lanes this handle shards over.
+    pub fn num_lanes(&self) -> usize {
+        self.shared.lanes.len()
+    }
+
+    fn advance(&mut self) -> usize {
+        let lane = self.lane;
+        self.lane = (self.lane + 1) % self.shared.lanes.len();
+        lane
+    }
+}
+
+impl<T: Send> Clone for IngestHandle<T> {
+    fn clone(&self) -> Self {
+        self.shared.producers.fetch_add(1, Ordering::AcqRel);
+        let lane = self.shared.next_lane.fetch_add(1, Ordering::Relaxed) % self.shared.lanes.len();
+        IngestHandle {
+            shared: Arc::clone(&self.shared),
+            lane,
+        }
+    }
+}
+
+impl<T: Send> Drop for IngestHandle<T> {
+    fn drop(&mut self) {
+        self.shared.producers.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::PlaceStats;
+
+    /// Minimal recording handle: pushes append, pops unsupported.
+    #[derive(Default)]
+    struct RecordingHandle {
+        pushed: Vec<(u64, usize, u64)>,
+        batches: Vec<usize>,
+    }
+
+    impl PoolHandle<u64> for RecordingHandle {
+        fn push(&mut self, prio: u64, k: usize, task: u64) {
+            self.pushed.push((prio, k, task));
+        }
+        fn pop(&mut self) -> Option<u64> {
+            None
+        }
+        fn push_batch(&mut self, k: usize, batch: &mut Vec<(u64, u64)>) {
+            self.batches.push(batch.len());
+            for (prio, task) in batch.drain(..) {
+                self.pushed.push((prio, k, task));
+            }
+        }
+        fn stats(&self) -> PlaceStats {
+            PlaceStats::default()
+        }
+    }
+
+    #[test]
+    fn producer_refcount_tracks_handles() {
+        let lanes: IngressLanes<u64> = IngressLanes::new(2);
+        assert_eq!(lanes.producers(), 0);
+        let h1 = lanes.handle();
+        let h2 = h1.clone();
+        assert_eq!(lanes.producers(), 2);
+        drop(h1);
+        assert_eq!(lanes.producers(), 1);
+        drop(h2);
+        assert_eq!(lanes.producers(), 0);
+        assert!(lanes.shared().quiescent());
+    }
+
+    #[test]
+    fn submissions_round_robin_across_lanes() {
+        let lanes: IngressLanes<u64> = IngressLanes::new(4);
+        let mut h = lanes.handle();
+        for i in 0..8u64 {
+            h.submit(i, 4, i);
+        }
+        assert_eq!(lanes.queued(), 8);
+        // Every lane received exactly two scalar submissions.
+        for lane in 0..4 {
+            assert_eq!(lanes.shared().lanes[lane].lock().len(), 2, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn batch_rides_one_lane_and_drains_grouped_by_k() {
+        let lanes: IngressLanes<u64> = IngressLanes::new(2);
+        let mut h = lanes.handle();
+        let mut batch = vec![(1u64, 10u64), (2, 20)];
+        h.submit_batch(8, &mut batch);
+        assert!(batch.is_empty());
+        // A second batch with a different k lands on the other lane; put it
+        // on the same lane by submitting twice (round-robin wraps).
+        let mut batch = vec![(3u64, 30u64)];
+        h.submit_batch(16, &mut batch);
+        let mut b2 = vec![(4u64, 40u64)];
+        h.submit_batch(16, &mut b2);
+        assert_eq!(lanes.queued(), 4);
+
+        let pending = AtomicU64::new(0);
+        let mut rec = RecordingHandle::default();
+        let (mut scratch, mut kbatch) = (Vec::new(), Vec::new());
+        let n0 = lanes
+            .shared()
+            .drain_into(0, &mut rec, &pending, &mut scratch, &mut kbatch);
+        let n1 = lanes
+            .shared()
+            .drain_into(1, &mut rec, &pending, &mut scratch, &mut kbatch);
+        assert_eq!((n0, n1), (3, 1), "round-robin: lanes 0, 1, 0");
+        assert_eq!(pending.load(Ordering::Relaxed), 4);
+        assert_eq!(lanes.queued(), 0);
+        let mut tasks: Vec<(u64, usize, u64)> = rec.pushed.clone();
+        tasks.sort();
+        assert_eq!(
+            tasks,
+            vec![(1, 8, 10), (2, 8, 20), (3, 16, 30), (4, 16, 40)]
+        );
+        // Lane 0 held the k=8 pair then the second k=16 single; the k-run
+        // grouping must split exactly at the k change, never merge across
+        // it: lane 0 drains as batches [2, 1], lane 1 as [1].
+        assert_eq!(rec.batches, vec![2, 1, 1]);
+    }
+
+    #[test]
+    fn drain_reports_empty_lane_as_zero() {
+        let lanes: IngressLanes<u64> = IngressLanes::new(1);
+        let pending = AtomicU64::new(0);
+        let mut rec = RecordingHandle::default();
+        let (mut scratch, mut kbatch) = (Vec::new(), Vec::new());
+        assert_eq!(
+            lanes
+                .shared()
+                .drain_into(0, &mut rec, &pending, &mut scratch, &mut kbatch),
+            0
+        );
+        assert_eq!(pending.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn quiescent_requires_both_empty_lanes_and_no_producers() {
+        let lanes: IngressLanes<u64> = IngressLanes::new(1);
+        assert!(lanes.shared().quiescent());
+        let mut h = lanes.handle();
+        assert!(
+            !lanes.shared().quiescent(),
+            "live producer blocks quiescence"
+        );
+        h.submit(1, 4, 1);
+        drop(h);
+        assert!(
+            !lanes.shared().quiescent(),
+            "queued task blocks quiescence even with no producers"
+        );
+        let pending = AtomicU64::new(0);
+        let mut rec = RecordingHandle::default();
+        let (mut scratch, mut kbatch) = (Vec::new(), Vec::new());
+        lanes
+            .shared()
+            .drain_into(0, &mut rec, &pending, &mut scratch, &mut kbatch);
+        assert!(lanes.shared().quiescent());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn zero_lanes_rejected() {
+        let _ = IngressLanes::<u64>::new(0);
+    }
+}

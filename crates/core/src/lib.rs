@@ -88,6 +88,35 @@
 //!   batch drains are simply "newer than the batch", the same window a
 //!   scalar pop exposes between its scan and its take-CAS.
 //!
+//! # Ingestion and quiescence
+//!
+//! The paper's runtime is closed-world: all roots are known at
+//! [`scheduler::Scheduler::run`] time and termination is the
+//! outstanding-task counter hitting zero. The [`ingest`] module opens that
+//! world without touching the ordering arguments:
+//!
+//! * [`ingest::IngressLanes`] shard ingestion one MPSC lane per place;
+//!   external producers submit `(prio, task)` scalars and batches through
+//!   cloneable [`ingest::IngestHandle`]s, round-robined across lanes so
+//!   ingestion itself scales with the place count;
+//! * each worker transfers its own lane into its pool handle at the **pop
+//!   boundary** (between task executions) via the same batched
+//!   [`pool::PoolHandle::push_batch`] path as
+//!   [`scheduler::SpawnCtx::spawn_batch`] — drained batches are charged
+//!   element-wise against the `k`/ρ bounds, and no batch is ever popped
+//!   ahead of execution (the scheduler-module argument for why pops stay
+//!   scalar is untouched);
+//! * termination generalizes to **quiescence**: counter zero *and* empty
+//!   lanes *and* zero live producer handles (a refcount — dropping the
+//!   last handle is the producers' "no more input" signal). Exposed as
+//!   [`scheduler::Scheduler::run_stream`] / [`facade::run_stream_on_kind`]
+//!   for one-shot streamed runs, and as [`service::PoolService`] (or
+//!   [`PoolBuilder::service`]) for a long-lived pool you can
+//!   `submit`/`join` repeatedly — the service holds its own producer
+//!   handle, so its workers idle through gaps instead of terminating, and
+//!   shutdown is nothing but dropping that handle and waiting for
+//!   quiescence.
+//!
 //! # Runtime structure selection
 //!
 //! [`PoolKind`] names the four structures; the [`facade`] module is the
@@ -105,12 +134,14 @@
 //! The scheduler is application-agnostic: anything that implements
 //! [`scheduler::TaskExecutor`] can run on any structure. The
 //! `priosched-workloads` crate packages the repo's evaluation scenarios —
-//! SSSP (the paper's §5 application), tile-Cholesky DAG factorization,
-//! best-first branch-and-bound knapsack, and bi-objective shortest paths —
-//! behind a `Workload` trait (config → seed tasks → executor → sequential
-//! oracle → structured report). Every workload verifies each run against
-//! its oracle, and the `schedbench` binary in `priosched-bench` sweeps
-//! workload × [`PoolKind`] × places × k. New scenarios plug in by
+//! SSSP (the paper's §5 application), unit-weight BFS, tile-Cholesky DAG
+//! factorization, best-first branch-and-bound knapsack, and bi-objective
+//! shortest paths — behind a `Workload` trait (config → seed tasks →
+//! executor → sequential oracle → structured report). Every workload
+//! verifies each run against its oracle — including streamed runs, whose
+//! seeds arrive through [`ingest::IngressLanes`] instead of preseeding —
+//! and the `schedbench` binary in `priosched-bench` sweeps workload ×
+//! [`PoolKind`] × places × k × ingestion. New scenarios plug in by
 //! implementing that trait; this crate deliberately knows nothing about
 //! them beyond the [`scheduler::TaskExecutor`] contract.
 
@@ -118,10 +149,12 @@ pub mod centralized;
 pub mod facade;
 pub mod garray;
 pub mod hybrid;
+pub mod ingest;
 pub mod item;
 pub mod pareto;
 pub mod pool;
 pub mod scheduler;
+pub mod service;
 pub mod stats;
 pub mod structural;
 pub mod task;
@@ -129,10 +162,12 @@ pub(crate) mod util;
 pub mod workstealing;
 
 pub use centralized::CentralizedKPriority;
-pub use facade::{run_on_kind, AnyHandle, AnyPool, PoolBuilder};
+pub use facade::{run_on_kind, run_stream_on_kind, AnyHandle, AnyPool, PoolBuilder};
 pub use hybrid::HybridKPriority;
+pub use ingest::{IngestHandle, IngressLanes};
 pub use pool::{PoolHandle, PoolKind, PoolParams, TaskPool};
 pub use scheduler::{RunStats, Scheduler, SpawnCtx, TaskExecutor};
+pub use service::PoolService;
 pub use structural::StructuralKPriority;
 pub use workstealing::PriorityWorkStealing;
 

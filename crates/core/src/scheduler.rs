@@ -10,7 +10,9 @@
 //!   finished executing and no new tasks were created" — realized with a
 //!   global outstanding-task counter (incremented before push, decremented
 //!   after execution); workers whose pops fail spin with backoff until the
-//!   counter reaches zero.
+//!   counter reaches zero. Streamed runs ([`Scheduler::run_stream`])
+//!   generalize this to *quiescence*: counter zero **and** empty ingress
+//!   lanes **and** zero live producers — see [`crate::ingest`].
 //! * **Dead-task elimination** (§5.1): tasks report deadness through
 //!   [`TaskExecutor::is_dead`]; dead tasks are dropped at pop time without
 //!   being executed, mirroring the lazy removal in the paper's structures.
@@ -35,6 +37,7 @@
 //! batched ingest; batching across *executions* is where ordering would
 //! actually be lost.
 
+use crate::ingest::{IngressLanes, IngressShared};
 use crate::pool::{PoolHandle, TaskPool};
 use crate::stats::PlaceStats;
 use crossbeam_utils::Backoff;
@@ -77,6 +80,14 @@ pub struct SpawnCtx<'a, T: Send> {
     /// Reusable scratch for [`SpawnCtx::take_batch_buf`], so executors can
     /// build spawn batches without a per-task-execution allocation.
     batch_buf: Vec<(u64, T)>,
+    /// Ingress lanes of a streamed run ([`Scheduler::run_stream`]); `None`
+    /// for closed-world [`Scheduler::run`]. Governs both lane draining at
+    /// the pop boundary and the quiescence half of termination.
+    ingress: Option<&'a IngressShared<T>>,
+    /// Reusable drain buffers (lane contents / same-`k` runs), so draining
+    /// allocates nothing in steady state.
+    ingest_scratch: Vec<(u64, usize, T)>,
+    ingest_kbatch: Vec<(u64, T)>,
 }
 
 impl<'a, T: Send> SpawnCtx<'a, T> {
@@ -134,23 +145,70 @@ impl<'a, T: Send> SpawnCtx<'a, T> {
     /// Cooperative wait: keeps popping and executing tasks while `cond`
     /// holds. The building block for blocking finish regions under
     /// help-first scheduling — the waiting task helps drain the pool
-    /// instead of idling a worker.
+    /// instead of idling a worker. In a streamed run it also keeps this
+    /// place's ingress lane flowing, so a finish region waiting on
+    /// externally submitted work cannot deadlock.
     pub fn help_while(&mut self, cond: &dyn Fn() -> bool) {
         let backoff = Backoff::new();
         while cond() && !self.abort.load(Ordering::Relaxed) {
+            if self.drain_ingress() > 0 {
+                backoff.reset();
+            }
             match self.handle.pop() {
                 Some(task) => {
                     self.run_one(task);
                     backoff.reset();
                 }
                 None => {
-                    if self.pending.load(Ordering::Acquire) == 0 {
+                    if self.drained_out() {
                         return; // nothing left anywhere; cond can never flip
                     }
-                    backoff.snooze();
+                    if self.ingress.is_some() {
+                        // Same idle cap as the streamed worker loop: a
+                        // finish region may wait a long time for external
+                        // submissions; don't pin a core while it does.
+                        idle_step(&backoff);
+                    } else {
+                        backoff.snooze();
+                    }
                 }
             }
         }
+    }
+
+    /// Transfers this place's ingress lane into the pool (streamed runs
+    /// only; a no-op for closed-world runs). Called at the pop boundary —
+    /// between task executions — so the scheduler-module ordering argument
+    /// (no pre-popped batches racing fresh spawns) is untouched. Returns
+    /// how many tasks were transferred.
+    fn drain_ingress(&mut self) -> u64 {
+        let Some(ing) = self.ingress else {
+            return 0;
+        };
+        if ing.queued_hint() == 0 {
+            return 0;
+        }
+        let mut scratch = std::mem::take(&mut self.ingest_scratch);
+        let mut kbatch = std::mem::take(&mut self.ingest_kbatch);
+        let n = ing.drain_into(
+            self.place,
+            &mut *self.handle,
+            self.pending,
+            &mut scratch,
+            &mut kbatch,
+        );
+        self.ingest_scratch = scratch;
+        self.ingest_kbatch = kbatch;
+        n
+    }
+
+    /// The termination condition: quiescent ingress (no producers, empty
+    /// lanes — trivially true in closed-world runs) checked *before* a
+    /// zero pending count. See the `ingest` module docs for why this read
+    /// order is sound.
+    fn drained_out(&self) -> bool {
+        self.ingress.is_none_or(IngressShared::quiescent)
+            && self.pending.load(Ordering::Acquire) == 0
     }
 
     fn run_one(&mut self, task: T) {
@@ -160,19 +218,22 @@ impl<'a, T: Send> SpawnCtx<'a, T> {
             return;
         }
         // Contain panics: decrement `pending` either way so sibling workers
-        // cannot spin forever on a count that will never drain, then flag
-        // the abort; `run` re-raises the payload after all workers exit.
+        // cannot spin forever on a count that will never drain; `run`
+        // re-raises the payload after all workers exit. The abort flag is
+        // raised *before* the decrement so that anyone who observes the
+        // count reach zero (e.g. `PoolService::join`) is guaranteed to see
+        // the abort on a subsequent read — a drain caused by a panic can
+        // never masquerade as a clean one.
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
             self.executor.execute(task, self);
         }));
-        self.pending.fetch_sub(1, Ordering::AcqRel);
-        match result {
-            Ok(()) => self.executed += 1,
-            Err(payload) => {
-                *self.panic_payload.lock() = Some(payload);
-                self.abort.store(true, Ordering::Release);
-            }
+        if let Err(payload) = result {
+            *self.panic_payload.lock() = Some(payload);
+            self.abort.store(true, Ordering::Release);
+        } else {
+            self.executed += 1;
         }
+        self.pending.fetch_sub(1, Ordering::AcqRel);
     }
 }
 
@@ -214,6 +275,87 @@ impl<P> Scheduler<P> {
     }
 }
 
+/// One idle step of a streamed poll loop: exponential backoff while it
+/// lasts, then a capped sleep — streamed pools (and service `join`s) can
+/// idle through long gaps between submissions and must not pin a core
+/// doing it. The single definition keeps every streamed wait loop's idle
+/// behavior identical (the ROADMAP's waker-based idle story replaces this
+/// in one place).
+pub(crate) fn idle_step(backoff: &Backoff) {
+    if backoff.is_completed() {
+        std::thread::sleep(STREAM_IDLE_SLEEP);
+    } else {
+        backoff.snooze();
+    }
+}
+
+/// Sleep quantum of [`idle_step`] once exponential backoff is exhausted.
+const STREAM_IDLE_SLEEP: Duration = Duration::from_micros(50);
+
+/// One place's §2 scheduling loop: pop → execute → repeat until the abort
+/// flag rises or the run drains out. In a streamed run (`ingress` set) the
+/// place additionally transfers its ingress lane into the pool at every
+/// pop boundary and terminates only at quiescence (counter zero *and* no
+/// producers *and* empty lanes).
+///
+/// Shared by [`Scheduler::run`]/[`Scheduler::run_stream`] (scoped worker
+/// threads) and [`crate::service::PoolService`] (detached worker threads);
+/// returns `(executed, dead)` for this place.
+pub(crate) fn place_loop<T: Send>(
+    handle: &mut dyn PoolHandle<T>,
+    executor: &dyn TaskExecutor<T>,
+    pending: &AtomicU64,
+    abort: &AtomicBool,
+    panic_payload: &parking_lot::Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    ingress: Option<&IngressShared<T>>,
+    place: usize,
+) -> (u64, u64) {
+    let streamed = ingress.is_some();
+    let mut ctx = SpawnCtx {
+        handle,
+        pending,
+        executor,
+        abort,
+        panic_payload,
+        place,
+        executed: 0,
+        dead: 0,
+        batch_buf: Vec::new(),
+        ingress,
+        ingest_scratch: Vec::new(),
+        ingest_kbatch: Vec::new(),
+    };
+    let backoff = Backoff::new();
+    loop {
+        if abort.load(Ordering::Acquire) {
+            break;
+        }
+        if ctx.drain_ingress() > 0 {
+            backoff.reset();
+        }
+        match ctx.handle.pop() {
+            Some(task) => {
+                ctx.run_one(task);
+                backoff.reset();
+            }
+            None => {
+                if ctx.drained_out() {
+                    break;
+                }
+                if streamed {
+                    // A streamed pool may idle for long stretches between
+                    // submissions; cap the spin burn instead of busy-waiting
+                    // at full speed until the producers come back.
+                    idle_step(&backoff);
+                } else {
+                    backoff.snooze();
+                }
+            }
+        }
+    }
+    (ctx.executed, ctx.dead)
+}
+
 impl<Pool> Scheduler<Pool> {
     /// Runs `roots` to completion and returns aggregated statistics.
     ///
@@ -227,7 +369,58 @@ impl<Pool> Scheduler<Pool> {
         E: TaskExecutor<T>,
         Pool: TaskPool<T>,
     {
+        self.run_inner(executor, roots, None)
+    }
+
+    /// Streamed variant of [`Scheduler::run`]: in addition to `roots`,
+    /// tasks submitted through `ingress` handles while the pool is running
+    /// are drained by each place at its pop boundary and scheduled like any
+    /// spawned task (same dead-task elimination, same element-wise `k`/ρ
+    /// accounting).
+    ///
+    /// Returns at **quiescence**: the outstanding-task counter is zero,
+    /// every lane is empty, and every [`crate::IngestHandle`] has been
+    /// dropped. Mint the producer handles *before* calling this — a
+    /// streamed run that observes zero producers and no queued tasks
+    /// terminates exactly like a closed-world run.
+    ///
+    /// # Panics
+    /// Panics if `ingress` was not created with one lane per place of this
+    /// scheduler's pool.
+    pub fn run_stream<T, E>(
+        &self,
+        executor: &E,
+        roots: Vec<(u64, usize, T)>,
+        ingress: &IngressLanes<T>,
+    ) -> RunStats
+    where
+        T: Send + 'static,
+        E: TaskExecutor<T>,
+        Pool: TaskPool<T>,
+    {
+        self.run_inner(executor, roots, Some(ingress))
+    }
+
+    fn run_inner<T, E>(
+        &self,
+        executor: &E,
+        roots: Vec<(u64, usize, T)>,
+        ingress: Option<&IngressLanes<T>>,
+    ) -> RunStats
+    where
+        T: Send + 'static,
+        E: TaskExecutor<T>,
+        Pool: TaskPool<T>,
+    {
         let nplaces = self.pool.num_places();
+        if let Some(lanes) = ingress {
+            assert_eq!(
+                lanes.num_lanes(),
+                nplaces,
+                "ingress lanes must match the pool's place count"
+            );
+        }
+        let ingress: Option<&IngressShared<T>> = ingress.map(|l| &**l.shared());
         let pending = AtomicU64::new(roots.len() as u64);
         let abort = AtomicBool::new(false);
         let panic_payload: parking_lot::Mutex<Option<Box<dyn std::any::Any + Send>>> =
@@ -251,36 +444,15 @@ impl<Pool> Scheduler<Pool> {
                             handle.push(prio, k, task);
                         }
                     }
-                    let mut ctx = SpawnCtx {
-                        handle: &mut handle,
-                        pending,
+                    let (executed, dead) = place_loop(
+                        &mut handle,
                         executor,
+                        pending,
                         abort,
                         panic_payload,
+                        ingress,
                         place,
-                        executed: 0,
-                        dead: 0,
-                        batch_buf: Vec::new(),
-                    };
-                    let backoff = Backoff::new();
-                    loop {
-                        if abort.load(Ordering::Acquire) {
-                            break;
-                        }
-                        match ctx.handle.pop() {
-                            Some(task) => {
-                                ctx.run_one(task);
-                                backoff.reset();
-                            }
-                            None => {
-                                if pending.load(Ordering::Acquire) == 0 {
-                                    break;
-                                }
-                                backoff.snooze();
-                            }
-                        }
-                    }
-                    let (executed, dead) = (ctx.executed, ctx.dead);
+                    );
                     (executed, dead, handle.stats())
                 }));
             }
@@ -467,6 +639,94 @@ mod tests {
             .copied()
             .unwrap_or("<non-str payload>");
         assert!(msg.contains("boom at 13"), "got: {msg}");
+    }
+
+    /// Streamed run: external producers submit while the pool is running;
+    /// the run must execute roots + everything ingested, then terminate
+    /// only after all handles drop.
+    #[test]
+    fn run_stream_executes_roots_and_ingested_tasks() {
+        use crate::ingest::IngressLanes;
+        for places in [1usize, 2, 4] {
+            let exec = TreeSpawner {
+                executed: Counter::new(0),
+                fanout: 2,
+                depth: 3,
+            };
+            let sched = Scheduler::from_pool(HybridKPriority::new(places));
+            let ingress = IngressLanes::new(places);
+            let producers = 3usize;
+            let per = 40u64;
+            let stats = std::thread::scope(|s| {
+                for _ in 0..producers {
+                    let mut h = ingress.handle();
+                    s.spawn(move || {
+                        let mut batch = Vec::new();
+                        for i in 0..per {
+                            // Leaf-depth tasks: execute without spawning.
+                            batch.push((7, (3u64, i)));
+                            if batch.len() == 8 {
+                                h.submit_batch(16, &mut batch);
+                            }
+                        }
+                        h.submit_batch(16, &mut batch);
+                    });
+                }
+                sched.run_stream(&exec, vec![(0, 16, (0u64, 0u64))], &ingress)
+            });
+            let expect = tree_total(2, 3) + producers as u64 * per;
+            assert_eq!(stats.executed, expect, "places={places}");
+            assert_eq!(exec.executed.load(Ordering::Relaxed), expect);
+        }
+    }
+
+    /// With no producers and no roots, a streamed run is a closed-world
+    /// run and terminates immediately.
+    #[test]
+    fn run_stream_without_producers_terminates() {
+        use crate::ingest::IngressLanes;
+        let sched = Scheduler::from_pool(PriorityWorkStealing::new(2));
+        let ingress = IngressLanes::new(2);
+        let stats = sched.run_stream(
+            &TreeSpawner {
+                executed: Counter::new(0),
+                fanout: 1,
+                depth: 0,
+            },
+            Vec::new(),
+            &ingress,
+        );
+        assert_eq!(stats.executed, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match the pool's place count")]
+    fn run_stream_rejects_mismatched_lane_count() {
+        use crate::ingest::IngressLanes;
+        let sched = Scheduler::from_pool(PriorityWorkStealing::new(2));
+        let ingress: IngressLanes<(u64, u64)> = IngressLanes::new(3);
+        let exec = TreeSpawner {
+            executed: Counter::new(0),
+            fanout: 1,
+            depth: 0,
+        };
+        let _ = sched.run_stream(&exec, Vec::new(), &ingress);
+    }
+
+    /// Ingested dead tasks are eliminated at pop time like spawned ones.
+    #[test]
+    fn run_stream_eliminates_dead_ingested_tasks() {
+        use crate::ingest::IngressLanes;
+        let sched = Scheduler::from_pool(HybridKPriority::new(2));
+        let ingress = IngressLanes::new(2);
+        let mut h = ingress.handle();
+        for i in 0..30u64 {
+            h.submit(i, 4, i);
+        }
+        drop(h);
+        let stats = sched.run_stream(&AllDead, Vec::new(), &ingress);
+        assert_eq!(stats.executed, 0);
+        assert_eq!(stats.dead, 30);
     }
 
     #[test]

@@ -1,0 +1,352 @@
+//! A long-lived pool service: workers that outlive any single drain.
+//!
+//! [`crate::Scheduler::run_stream`] still has a closed lifecycle — it
+//! returns at quiescence and the worker threads die with it. A service
+//! frontend (async runtime, network ingress) wants the opposite shape:
+//! start the workers once, then [`PoolService::submit`] and
+//! [`PoolService::join`] repeatedly, paying thread startup never and pool
+//! construction once.
+//!
+//! The trick is that the service *is* a producer: it holds one
+//! [`IngestHandle`] of its own, so the producer refcount that gates
+//! streamed termination (see [`crate::ingest`]) never reaches zero while
+//! the service lives. Workers therefore idle (with capped backoff) through
+//! arbitrarily long gaps between submissions, and [`PoolService::shutdown`]
+//! is nothing but "drop that last handle, then join" — quiescence, the
+//! same condition `run_stream` uses, becomes the orderly shutdown protocol.
+
+use crate::ingest::{IngestHandle, IngressLanes};
+use crate::pool::{PoolHandle, TaskPool};
+use crate::scheduler::{idle_step, place_loop, RunStats, TaskExecutor};
+use crate::stats::PlaceStats;
+use crossbeam_utils::Backoff;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A running pool with its worker threads, accepting external submissions.
+///
+/// Built from any [`TaskPool`] + executor pair via [`PoolService::start`],
+/// or from a runtime-selected structure via
+/// [`crate::PoolBuilder::service`]. See the module docs for the lifecycle.
+pub struct PoolService<T: Send + 'static> {
+    lanes: IngressLanes<T>,
+    /// The service's own producer slot; taken (dropped) at shutdown.
+    handle: Option<IngestHandle<T>>,
+    pending: Arc<AtomicU64>,
+    abort: Arc<AtomicBool>,
+    panic_payload: Arc<Mutex<Option<Box<dyn std::any::Any + Send>>>>,
+    workers: Vec<std::thread::JoinHandle<(u64, u64, PlaceStats)>>,
+    started: Instant,
+}
+
+impl<T: Send + 'static> PoolService<T> {
+    /// Starts one worker thread per place of `pool`, all running the
+    /// streamed §2 loop against `executor`.
+    ///
+    /// The workers keep running — through any number of drains — until
+    /// [`PoolService::shutdown`] (or drop) releases the service's producer
+    /// handle and every external [`IngestHandle`] is gone.
+    pub fn start<P, E>(pool: Arc<P>, executor: Arc<E>) -> Self
+    where
+        P: TaskPool<T>,
+        E: TaskExecutor<T> + Send + Sync + 'static,
+    {
+        let nplaces = pool.num_places();
+        let lanes = IngressLanes::new(nplaces);
+        // Mint the service's own handle before any worker can observe the
+        // producer count: a worker started against zero producers would
+        // terminate immediately.
+        let handle = lanes.handle();
+        let pending = Arc::new(AtomicU64::new(0));
+        let abort = Arc::new(AtomicBool::new(false));
+        let panic_payload: Arc<Mutex<Option<Box<dyn std::any::Any + Send>>>> =
+            Arc::new(Mutex::new(None));
+        let mut workers = Vec::with_capacity(nplaces);
+        for place in 0..nplaces {
+            let pool = Arc::clone(&pool);
+            let executor = Arc::clone(&executor);
+            let pending = Arc::clone(&pending);
+            let abort = Arc::clone(&abort);
+            let panic_payload = Arc::clone(&panic_payload);
+            let shared = Arc::clone(lanes.shared());
+            let join = std::thread::Builder::new()
+                .name(format!("priosched-place-{place}"))
+                .spawn(move || {
+                    let mut handle = pool.handle(place);
+                    let (executed, dead) = place_loop(
+                        &mut handle,
+                        &*executor,
+                        &pending,
+                        &abort,
+                        &panic_payload,
+                        Some(&shared),
+                        place,
+                    );
+                    (executed, dead, handle.stats())
+                })
+                .expect("failed to spawn pool-service worker thread");
+            workers.push(join);
+        }
+        PoolService {
+            lanes,
+            handle: Some(handle),
+            pending,
+            abort,
+            panic_payload,
+            workers,
+            started: Instant::now(),
+        }
+    }
+
+    /// Submits one task with priority `prio` (smaller = higher) and
+    /// relaxation bound `k` through the service's own ingest handle.
+    ///
+    /// After the pool has aborted on a task panic ([`PoolService::join`]
+    /// returned `false`), the workers have exited: further submissions are
+    /// accepted but never execute — they are discarded when the service
+    /// shuts down (which re-raises the panic). Check `join` before
+    /// submitting work you cannot afford to lose.
+    pub fn submit(&mut self, prio: u64, k: usize, task: T) {
+        self.own_handle().submit(prio, k, task);
+    }
+
+    /// Submits a batch sharing relaxation bound `k` (one lane, one lock;
+    /// element-wise `k`/ρ accounting on drain), draining `batch`.
+    ///
+    /// Same post-abort caveat as [`PoolService::submit`].
+    pub fn submit_batch(&mut self, k: usize, batch: &mut Vec<(u64, T)>) {
+        self.own_handle().submit_batch(k, batch);
+    }
+
+    /// Mints an [`IngestHandle`] for an external producer thread. The
+    /// service stays alive until **all** such handles are dropped *and*
+    /// [`PoolService::shutdown`] ran.
+    pub fn ingest_handle(&self) -> IngestHandle<T> {
+        self.lanes.handle()
+    }
+
+    /// Blocks until everything submitted so far has been executed (lanes
+    /// empty, outstanding-task counter zero) — the workers stay running
+    /// for the next round of submissions. Returns `false` if the pool
+    /// aborted on a task panic instead (the payload re-raises at
+    /// [`PoolService::shutdown`]).
+    pub fn join(&self) -> bool {
+        let backoff = Backoff::new();
+        loop {
+            if self.abort.load(Ordering::Acquire) {
+                return false;
+            }
+            if self.lanes.queued() == 0 && self.pending.load(Ordering::Acquire) == 0 {
+                // Re-check after observing the drain: a panicking task
+                // raises the abort flag before releasing its pending count,
+                // so a panic-caused drain is visible here.
+                return !self.abort.load(Ordering::Acquire);
+            }
+            idle_step(&backoff);
+        }
+    }
+
+    /// Number of places (== worker threads == ingress lanes).
+    pub fn places(&self) -> usize {
+        self.lanes.num_lanes()
+    }
+
+    /// Tasks submitted but not yet transferred into the pool.
+    pub fn queued(&self) -> u64 {
+        self.lanes.queued()
+    }
+
+    /// Drops the service's producer handle, waits for quiescence, joins
+    /// the workers, and returns the aggregated statistics of the service's
+    /// whole lifetime. Re-raises the payload if any task panicked.
+    ///
+    /// Blocks until every external [`IngestHandle`] is dropped — they are
+    /// the remaining producers the quiescence protocol waits on.
+    pub fn shutdown(mut self) -> RunStats {
+        let per_place = self.shutdown_inner();
+        if let Some(payload) = self.panic_payload.lock().take() {
+            std::panic::resume_unwind(payload);
+        }
+        let mut stats = RunStats {
+            elapsed: self.started.elapsed(),
+            per_place_executed: per_place.iter().map(|(e, _, _)| *e).collect(),
+            ..RunStats::default()
+        };
+        for (executed, dead, pool_stats) in per_place {
+            stats.executed += executed;
+            stats.dead += dead;
+            stats.pool.merge(&pool_stats);
+        }
+        stats
+    }
+
+    fn own_handle(&mut self) -> &mut IngestHandle<T> {
+        self.handle
+            .as_mut()
+            .expect("PoolService handle present until shutdown")
+    }
+
+    fn shutdown_inner(&mut self) -> Vec<(u64, u64, PlaceStats)> {
+        self.handle = None; // release the service's producer slot
+        self.workers
+            .drain(..)
+            .map(|j| {
+                j.join()
+                    .expect("pool-service worker thread itself panicked")
+            })
+            .collect()
+    }
+}
+
+impl<T: Send + 'static> Drop for PoolService<T> {
+    /// Dropping without [`PoolService::shutdown`] is an *abortive* stop:
+    /// the abort flag is raised so workers exit after their current task
+    /// (not-yet-executed submissions are discarded with the pool), then
+    /// the workers are joined. Raising abort is what keeps an implicit
+    /// drop — including one during a panic unwind — from hanging forever
+    /// on external [`IngestHandle`]s that will never be dropped; only the
+    /// explicit `shutdown` waits for full quiescence. No panic payload is
+    /// re-raised — dropping is not the place to unwind.
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            self.abort.store(true, Ordering::Release);
+            let _ = self.shutdown_inner();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hybrid::HybridKPriority;
+    use crate::scheduler::SpawnCtx;
+    use crate::workstealing::PriorityWorkStealing;
+
+    /// Counts executions; spawns a countdown chain below each submitted
+    /// value, so submissions transitively create in-pool work.
+    struct CountDown(AtomicU64);
+    impl TaskExecutor<u64> for CountDown {
+        fn execute(&self, task: u64, ctx: &mut SpawnCtx<'_, u64>) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+            if task > 0 {
+                ctx.spawn(task - 1, 8, task - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn submit_join_rounds_then_shutdown() {
+        let exec = Arc::new(CountDown(AtomicU64::new(0)));
+        let pool = Arc::new(HybridKPriority::new(2));
+        let mut svc = PoolService::start(pool, Arc::clone(&exec));
+        assert_eq!(svc.places(), 2);
+
+        svc.submit(5, 8, 5u64); // 5,4,3,2,1,0 → 6 executions
+        assert!(svc.join());
+        assert_eq!(exec.0.load(Ordering::Relaxed), 6);
+
+        // The service survives the drain: a second round reuses the same
+        // workers and pool.
+        svc.submit(2, 8, 2u64);
+        svc.submit(1, 8, 1u64);
+        assert!(svc.join());
+        assert_eq!(exec.0.load(Ordering::Relaxed), 6 + 3 + 2);
+
+        let stats = svc.shutdown();
+        assert_eq!(stats.executed, 11);
+        assert_eq!(stats.per_place_executed.len(), 2);
+    }
+
+    #[test]
+    fn external_producers_feed_through_ingest_handles() {
+        let exec = Arc::new(CountDown(AtomicU64::new(0)));
+        let svc = {
+            let pool = Arc::new(PriorityWorkStealing::new(4));
+            PoolService::start(pool, Arc::clone(&exec))
+        };
+        let producers = 4u64;
+        let per = 100u64;
+        std::thread::scope(|s| {
+            for _ in 0..producers {
+                let mut h = svc.ingest_handle();
+                s.spawn(move || {
+                    let mut batch = Vec::new();
+                    for i in 0..per {
+                        batch.push((i, i));
+                        if batch.len() == 16 {
+                            h.submit_batch(8, &mut batch);
+                        }
+                    }
+                    h.submit_batch(8, &mut batch);
+                });
+            }
+        });
+        assert!(svc.join());
+        // Every submitted value i runs itself plus its countdown chain:
+        // i + 1 executions.
+        let expect: u64 = producers * (0..per).map(|i| i + 1).sum::<u64>();
+        assert_eq!(exec.0.load(Ordering::Relaxed), expect);
+        let stats = svc.shutdown();
+        assert_eq!(stats.executed, expect);
+    }
+
+    struct PanicOn13;
+    impl TaskExecutor<u64> for PanicOn13 {
+        fn execute(&self, t: u64, _ctx: &mut SpawnCtx<'_, u64>) {
+            if t == 13 {
+                panic!("boom at 13");
+            }
+        }
+    }
+
+    #[test]
+    fn task_panic_surfaces_at_shutdown() {
+        let pool = Arc::new(PriorityWorkStealing::new(2));
+        let mut svc = PoolService::start(pool, Arc::new(PanicOn13));
+        svc.submit(13, 0, 13u64);
+        assert!(!svc.join(), "join must report the abort");
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| svc.shutdown()))
+            .expect_err("shutdown must re-raise the task panic");
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or("<non-str>");
+        assert!(msg.contains("boom at 13"), "got: {msg}");
+    }
+
+    #[test]
+    fn idle_service_shuts_down_cleanly() {
+        let pool = Arc::new(HybridKPriority::new(3));
+        let svc: PoolService<u64> =
+            PoolService::start(pool, Arc::new(CountDown(AtomicU64::new(0))));
+        assert!(svc.join(), "an idle service is trivially drained");
+        let stats = svc.shutdown();
+        assert_eq!(stats.executed, 0);
+        assert_eq!(stats.per_place_executed, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn dropping_service_with_live_external_handle_does_not_hang() {
+        let exec = Arc::new(CountDown(AtomicU64::new(0)));
+        let pool = Arc::new(HybridKPriority::new(2));
+        let svc: PoolService<u64> = PoolService::start(pool, exec);
+        let external = svc.ingest_handle();
+        // Implicit drop must abort and join even though `external` still
+        // holds a producer slot (quiescence would wait on it forever).
+        drop(svc);
+        drop(external);
+    }
+
+    #[test]
+    fn dropping_service_joins_workers() {
+        let exec = Arc::new(CountDown(AtomicU64::new(0)));
+        {
+            let pool = Arc::new(HybridKPriority::new(2));
+            let mut svc = PoolService::start(pool, Arc::clone(&exec));
+            svc.submit(3, 8, 3u64);
+            svc.join();
+            // No shutdown: Drop must still release the producer slot and
+            // join the workers without hanging.
+        }
+        assert_eq!(exec.0.load(Ordering::Relaxed), 4);
+    }
+}

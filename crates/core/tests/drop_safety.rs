@@ -7,8 +7,8 @@
 //! published, recycled, or consumed concurrently.
 
 use priosched_core::{
-    CentralizedKPriority, HybridKPriority, PoolHandle, PriorityWorkStealing, StructuralKPriority,
-    TaskPool,
+    CentralizedKPriority, HybridKPriority, IngressLanes, PoolHandle, PriorityWorkStealing,
+    Scheduler, SpawnCtx, StructuralKPriority, TaskExecutor, TaskPool,
 };
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -146,6 +146,72 @@ fn recycled_items_do_not_leak_under_churn() {
     drop(h);
     drop(pool);
     assert_eq!(drops.load(Ordering::Relaxed), rounds * per);
+}
+
+/// Tasks still sitting in ingress lanes when the lanes are dropped (never
+/// having reached any pool) must be dropped exactly once — the same
+/// guarantee the item free list gives in-structure tasks.
+#[test]
+fn ingress_lane_tasks_dropped_once_without_running() {
+    let drops = Arc::new(AtomicUsize::new(0));
+    let lanes: IngressLanes<Tracked> = IngressLanes::new(3);
+    let mut h = lanes.handle();
+    for i in 0..30u64 {
+        h.submit(i, 4, Tracked::new(&drops));
+    }
+    let mut batch: Vec<(u64, Tracked)> = (0..20u64).map(|i| (i, Tracked::new(&drops))).collect();
+    h.submit_batch(8, &mut batch);
+    // A clone shares the lanes; dropping handles must not drop tasks.
+    let h2 = h.clone();
+    drop(h);
+    drop(h2);
+    assert_eq!(drops.load(Ordering::Relaxed), 0, "handles own no tasks");
+    assert_eq!(lanes.queued(), 50);
+    drop(lanes);
+    assert_eq!(
+        drops.load(Ordering::Relaxed),
+        50,
+        "lane payloads must drop exactly once with the lanes"
+    );
+}
+
+/// An aborted streamed run (task panic) leaves tasks both inside the pool
+/// and — possibly — still in ingress lanes; between pool drop and lane
+/// drop every payload must be dropped exactly once, no leaks, no doubles.
+#[test]
+fn aborted_stream_run_drops_lane_and_pool_tasks_once() {
+    struct PanicOnFirst;
+    impl TaskExecutor<Tracked> for PanicOnFirst {
+        fn execute(&self, _t: Tracked, _ctx: &mut SpawnCtx<'_, Tracked>) {
+            panic!("first task dies");
+        }
+    }
+
+    let drops = Arc::new(AtomicUsize::new(0));
+    let total = 80usize;
+    let lanes: IngressLanes<Tracked> = IngressLanes::new(2);
+    let mut h = lanes.handle();
+    for i in 0..total {
+        h.submit(i as u64, 4, Tracked::new(&drops));
+    }
+    drop(h);
+
+    let sched = Scheduler::from_pool(HybridKPriority::new(2));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        sched.run_stream(&PanicOnFirst, Vec::new(), &lanes)
+    }));
+    assert!(result.is_err(), "the task panic must propagate");
+    // The one popped task was dropped by the panic unwind; the rest sit in
+    // the pool (drained lanes) or still in lanes (abort races the drain).
+    let sched_drops = drops.load(Ordering::Relaxed);
+    assert!(sched_drops >= 1, "the panicked task's payload must be gone");
+    drop(sched);
+    drop(lanes);
+    assert_eq!(
+        drops.load(Ordering::Relaxed),
+        total,
+        "pool drop + lane drop must reclaim every payload exactly once"
+    );
 }
 
 #[test]

@@ -10,6 +10,8 @@
 //! one-off example:
 //!
 //! * [`SsspWorkload`] — the paper's evaluation application (§5.1);
+//! * [`BfsWorkload`] — unit-weight BFS à la the Multi-Queues evaluation:
+//!   dense equal-priority frontiers, verified against sequential BFS;
 //! * [`CholeskyWorkload`] — tile Cholesky as a prioritized task DAG, the
 //!   introduction's motivating "algorithms-by-blocks" use case \[16\];
 //! * [`KnapsackWorkload`] — best-first branch-and-bound, where pruned
@@ -24,8 +26,13 @@
 //! the scheduler drains — checks the executor's final state against the
 //! oracle. [`run_workload`] drives one `(kind, places, params)` cell
 //! through [`priosched_core::run_on_kind`] and folds everything into a
-//! [`WorkloadReport`]. The oracle is computed once at construction, so a
-//! sweep re-verifies every run at the cost of a comparison, not a re-solve.
+//! [`WorkloadReport`]; [`run_workload_streamed`] drives the same cell
+//! open-world — the seeds travel through sharded ingestion lanes from N
+//! producer threads while the pool is already draining — and the *same*
+//! oracle verifies the result, so the streamed path earns the identical
+//! correctness guarantee for free. The oracle is computed once at
+//! construction, so a sweep re-verifies every run at the cost of a
+//! comparison, not a re-solve.
 //!
 //! Verification is not optional decoration: a relaxed structure that drops
 //! or reorders beyond its ρ bound produces *wrong answers* here (missing
@@ -37,18 +44,22 @@
 //! which iterates [`DynWorkload`] trait objects over workload × kind ×
 //! places × k × spawn-chunk and emits `BENCH_*.json`-format records.
 
+pub mod bfs;
 pub mod cholesky;
 pub mod knapsack;
 pub mod mo_sssp;
 pub mod sssp;
 
+pub use bfs::BfsWorkload;
 pub use cholesky::CholeskyWorkload;
 pub use knapsack::KnapsackWorkload;
 pub use mo_sssp::MoSsspWorkload;
 pub use sssp::SsspWorkload;
 
 use priosched_core::stats::PlaceStats;
-use priosched_core::{run_on_kind, PoolKind, PoolParams, RunStats, TaskExecutor};
+use priosched_core::{
+    run_on_kind, run_stream_on_kind, IngressLanes, PoolKind, PoolParams, RunStats, TaskExecutor,
+};
 use std::time::Duration;
 
 /// A schedulable, verifiable benchmark scenario.
@@ -198,6 +209,73 @@ pub fn run_workload<W: Workload + ?Sized>(
     }
 }
 
+/// Streamed variant of [`run_workload`]: the instance's seeds reach the
+/// pool through sharded ingestion instead of being preseeded as roots.
+///
+/// The seeds are split round-robin over `producers` external threads; each
+/// producer submits its share through its own
+/// [`priosched_core::IngestHandle`] in chunks of `chunk` tasks (one lane
+/// lock per chunk; `0` means one chunk per producer), concurrently with
+/// the pool draining. The run returns at quiescence and is verified
+/// against the same sequential oracle as a preseeded run — which is the
+/// point: the oracle must not be able to tell the sharded path apart.
+pub fn run_workload_streamed<W: Workload + ?Sized>(
+    workload: &W,
+    kind: PoolKind,
+    places: usize,
+    params: PoolParams,
+    producers: usize,
+    chunk: usize,
+) -> WorkloadReport {
+    assert!(producers > 0, "streamed runs need at least one producer");
+    let exec = workload.executor(&params);
+    let seeds = workload.seed(&exec, &params);
+    let mut shards: Vec<Vec<(u64, usize, W::Task)>> = (0..producers).map(|_| Vec::new()).collect();
+    for (i, seed) in seeds.into_iter().enumerate() {
+        shards[i % producers].push(seed);
+    }
+    let ingress = IngressLanes::new(places);
+    let run = std::thread::scope(|s| {
+        // Handles are minted before the streamed run starts (a run that
+        // observes zero producers terminates); each producer thread owns
+        // one and drops it when its shard is fully submitted.
+        for shard in shards {
+            let mut handle = ingress.handle();
+            s.spawn(move || {
+                let mut batch: Vec<(u64, W::Task)> = Vec::new();
+                let mut batch_k: Option<usize> = None;
+                for (prio, k, task) in shard {
+                    if batch_k != Some(k) || (chunk > 0 && batch.len() >= chunk) {
+                        if let Some(prev_k) = batch_k {
+                            handle.submit_batch(prev_k, &mut batch);
+                        }
+                        batch_k = Some(k);
+                    }
+                    batch.push((prio, task));
+                }
+                if let Some(prev_k) = batch_k {
+                    handle.submit_batch(prev_k, &mut batch);
+                }
+            });
+        }
+        run_stream_on_kind(kind, places, params, &exec, Vec::new(), &ingress)
+    });
+    let verify = workload.verify(&exec, &run);
+    let metrics = workload.metrics(&exec, &run);
+    WorkloadReport {
+        workload: workload.name(),
+        kind,
+        places,
+        params,
+        executed: run.executed,
+        dead: run.dead,
+        elapsed: run.elapsed,
+        pool: run.pool,
+        verify,
+        metrics,
+    }
+}
+
 /// Object-safe view over [`Workload`], so heterogeneous workloads (whose
 /// task types differ) can share one sweep loop.
 pub trait DynWorkload {
@@ -205,6 +283,16 @@ pub trait DynWorkload {
     fn name(&self) -> &'static str;
     /// Runs one `(kind, places, params)` cell (see [`run_workload`]).
     fn run(&self, kind: PoolKind, places: usize, params: PoolParams) -> WorkloadReport;
+    /// Runs one streamed cell: seeds fed through `producers` ingestion
+    /// threads in chunks of `chunk` (see [`run_workload_streamed`]).
+    fn run_streamed(
+        &self,
+        kind: PoolKind,
+        places: usize,
+        params: PoolParams,
+        producers: usize,
+        chunk: usize,
+    ) -> WorkloadReport;
 }
 
 impl<W: Workload> DynWorkload for W {
@@ -214,6 +302,17 @@ impl<W: Workload> DynWorkload for W {
 
     fn run(&self, kind: PoolKind, places: usize, params: PoolParams) -> WorkloadReport {
         run_workload(self, kind, places, params)
+    }
+
+    fn run_streamed(
+        &self,
+        kind: PoolKind,
+        places: usize,
+        params: PoolParams,
+        producers: usize,
+        chunk: usize,
+    ) -> WorkloadReport {
+        run_workload_streamed(self, kind, places, params, producers, chunk)
     }
 }
 

@@ -10,7 +10,7 @@
 
 use priosched_core::{PoolKind, PoolParams};
 use priosched_workloads::{
-    CholeskyWorkload, DynWorkload, KnapsackWorkload, MoSsspWorkload, SsspWorkload,
+    BfsWorkload, CholeskyWorkload, DynWorkload, KnapsackWorkload, MoSsspWorkload, SsspWorkload,
 };
 
 fn matrix(workload: &dyn DynWorkload, params: PoolParams) {
@@ -51,6 +51,44 @@ fn knapsack_matches_dp_optimum_across_matrix() {
 fn mo_sssp_matches_exhaustive_fronts_across_matrix() {
     let w = MoSsspWorkload::random(45, 0.1, 99);
     matrix(&w, PoolParams::with_k(8));
+}
+
+#[test]
+fn bfs_matches_sequential_bfs_across_matrix() {
+    let w = BfsWorkload::random(160, 0.06, 77);
+    matrix(&w, PoolParams::with_k(32));
+}
+
+/// The streamed acceptance matrix: every workload, driven through
+/// `run_workload_streamed` with 4 producer threads feeding sharded
+/// ingestion lanes at 4 places, must match its sequential oracle on all
+/// four structures. This is the committed guarantee that the open-world
+/// path (lanes → pop-boundary drain → element-wise k/ρ charging →
+/// quiescence termination) cannot be told apart from preseeding by any
+/// oracle.
+#[test]
+fn streamed_ingestion_matches_oracles_across_matrix() {
+    let workloads: Vec<Box<dyn DynWorkload>> = vec![
+        Box::new(SsspWorkload::random(130, 0.08, 44)),
+        // Wide frontier: hundreds of seeds shard across all 4 producers.
+        Box::new(BfsWorkload::random_multi(140, 0.06, 77, 32)),
+        Box::new(CholeskyWorkload::random(4, 8, 0xFEED_FACE)),
+        Box::new(KnapsackWorkload::random(24, 2_200, 0x1234_5678_9ABC_DEF0)),
+        Box::new(MoSsspWorkload::random(40, 0.1, 99)),
+    ];
+    let (places, producers, chunk) = (4usize, 4usize, 8usize);
+    for workload in &workloads {
+        for kind in PoolKind::ALL {
+            let report =
+                workload.run_streamed(kind, places, PoolParams::with_k(32), producers, chunk);
+            report.expect_verified();
+            assert!(
+                report.executed > 0,
+                "{} streamed on {kind}: nothing executed",
+                workload.name()
+            );
+        }
+    }
 }
 
 /// Strict ordering (k = 1) and heavy relaxation (k = 4096) both stay

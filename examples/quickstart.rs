@@ -1,13 +1,15 @@
-//! Quickstart: prioritized task scheduling in ~50 lines.
+//! Quickstart: prioritized task scheduling, open-world first.
 //!
-//! Spawns a tree of tasks where each task's priority is its depth, runs it
-//! over all three of the paper's data structures, and shows the scheduling
-//! statistics each one produces.
+//! Headline: start a long-lived pool *service* and submit prioritized
+//! tasks into it from outside — the shape a server or async frontend
+//! uses. Then the classic closed-world flow: run a fixed root set over
+//! all three of the paper's data structures and compare their statistics.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use priosched::core::{run_on_kind, PoolKind, PoolParams, SpawnCtx, TaskExecutor};
+use priosched::core::{run_on_kind, PoolBuilder, PoolKind, PoolParams, SpawnCtx, TaskExecutor};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// A task is (depth, width-index); executing it spawns `FANOUT` children
 /// until `MAX_DEPTH`, preferring shallow tasks (priority = depth).
@@ -31,6 +33,51 @@ impl TaskExecutor<(u64, u64)> for TreeWalk {
     }
 }
 
+/// Open-world flow: the pool outlives any one batch of work. External
+/// threads submit through cloneable ingest handles; `join` waits for a
+/// drain without stopping the workers; `shutdown` waits for quiescence
+/// (all handles dropped, nothing queued, nothing pending).
+fn service_demo(places: usize) {
+    let exec = Arc::new(TreeWalk {
+        executed: AtomicU64::new(0),
+    });
+    let mut service = PoolBuilder::new(PoolKind::Hybrid)
+        .places(places)
+        .k(K)
+        .service::<(u64, u64), _>(Arc::clone(&exec));
+
+    // Submit from outside the pool — e.g. request handlers. Each producer
+    // thread owns its own handle; submissions shard across per-place
+    // ingress lanes and are drained by the workers between executions.
+    std::thread::scope(|s| {
+        for producer in 0..2u64 {
+            let mut handle = service.ingest_handle();
+            s.spawn(move || {
+                // One tree root each, plus a batch of leaf-depth tasks.
+                handle.submit(0, K, (0u64, producer));
+                let mut batch: Vec<(u64, (u64, u64))> =
+                    (0..8).map(|i| (MAX_DEPTH, (MAX_DEPTH, i))).collect();
+                handle.submit_batch(K, &mut batch);
+            });
+        }
+    });
+
+    service.join(); // drained — but the workers are still running
+    let after_round_1 = exec.executed.load(Ordering::Relaxed);
+
+    service.submit(0, K, (0u64, 99)); // a second round on the same pool
+    service.join();
+
+    let stats = service.shutdown();
+    let tree: u64 = (0..=MAX_DEPTH).map(|d| FANOUT.pow(d as u32)).sum();
+    assert_eq!(stats.executed, 3 * tree + 2 * 8);
+    println!(
+        "service:       2 producers + 2 rounds -> {:>6} tasks ({} after round 1) on {} workers",
+        stats.executed, after_round_1, places
+    );
+}
+
+/// Closed-world flow: all roots known up front, one structure per run.
 fn run_with(kind: PoolKind, places: usize) {
     let exec = TreeWalk {
         executed: AtomicU64::new(0),
@@ -62,10 +109,16 @@ fn main() {
         "priosched {} quickstart: {places} places, fanout {FANOUT}, depth {MAX_DEPTH}\n",
         priosched::VERSION
     );
+
+    // Open-world headline: a pool you submit into while it runs.
+    service_demo(places);
+    println!();
+
+    // Closed-world: the paper's three structures over a fixed root set.
     for kind in PoolKind::PAPER {
         run_with(kind, places);
     }
-    println!("\nAll three structures executed every task exactly once.");
+    println!("\nAll structures executed every task exactly once.");
     println!("Note how the hybrid structure substitutes spying for stealing,");
     println!("and publishes its local list roughly every k = {K} pushes.");
 }

@@ -16,9 +16,10 @@
 //! * [`graph`] — Erdős–Rényi graphs + sequential Dijkstra baseline;
 //! * [`sssp`] — the parallel SSSP application;
 //! * [`sim`] — phase simulator + Theorem 5 bounds;
-//! * [`workloads`] — first-class benchmark workloads (SSSP, tile Cholesky,
-//!   branch-and-bound knapsack, bi-objective SSSP), each verified against a
-//!   sequential oracle and sweepable by the `schedbench` harness.
+//! * [`workloads`] — first-class benchmark workloads (SSSP, BFS, tile
+//!   Cholesky, branch-and-bound knapsack, bi-objective SSSP), each verified
+//!   against a sequential oracle and sweepable by the `schedbench` harness,
+//!   preseeded or through sharded ingestion (`run_workload_streamed`).
 //!
 //! ## Quick start
 //!
