@@ -10,7 +10,7 @@
 //! schedbench [--smoke] [--workloads sssp,bfs,cholesky,knapsack,mo_sssp]
 //!            [--kinds work_stealing,centralized,hybrid,structural]
 //!            [--places 1,2,4] [--k 512] [--chunks 0] [--reps 3]
-//!            [--ingest PRODUCERSxCHUNK,…] [--out FILE.json]
+//!            [--ingest PRODUCERSxCHUNK,…] [--lane-cap N,…] [--out FILE.json]
 //! ```
 //!
 //! * `--smoke` shrinks every instance and runs one rep — the CI job that
@@ -23,6 +23,12 @@
 //!   `run_workload_streamed`), still verified against the same oracle.
 //!   Without the flag, seeds are preseeded as roots (the closed-world
 //!   baseline).
+//! * `--lane-cap` adds a backpressure axis to `--ingest` cells: each value
+//!   bounds every ingress lane to that many queued tasks (`0` =
+//!   unbounded), so producers block (parking) when they outrun the
+//!   workers. Requires `--ingest`.
+//! * Malformed flags are **usage errors**: the sweep prints a diagnostic
+//!   to stderr and exits with code 2 instead of panicking.
 //! * Any oracle mismatch aborts with a nonzero exit code.
 
 use priosched_core::{PoolKind, PoolParams};
@@ -35,6 +41,10 @@ use std::path::PathBuf;
 
 /// Workload names in sweep order.
 const WORKLOADS: [&str; 5] = ["sssp", "bfs", "cholesky", "knapsack", "mo_sssp"];
+
+const USAGE: &str = "usage: schedbench [--smoke] [--workloads LIST] [--kinds LIST] \
+     [--places LIST] [--k LIST] [--chunks LIST] [--ingest PxC,…] \
+     [--lane-cap N,… (0 = unbounded; requires --ingest)] [--reps N] [--out FILE]";
 
 /// One `--ingest` cell: producer-thread count × submission-chunk size.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -65,6 +75,7 @@ impl std::str::FromStr for IngestCell {
     }
 }
 
+#[derive(Debug)]
 struct Args {
     smoke: bool,
     workloads: Vec<String>,
@@ -73,11 +84,14 @@ struct Args {
     ks: Vec<usize>,
     chunks: Vec<usize>,
     ingest: Vec<IngestCell>,
+    /// Lane-capacity axis for streamed cells; `None` = unbounded (the `0`
+    /// spelling on the command line).
+    lane_caps: Vec<Option<usize>>,
     reps: usize,
     out: Option<PathBuf>,
 }
 
-fn parse_list<T: std::str::FromStr>(flag: &str, value: &str) -> Vec<T>
+fn parse_list<T: std::str::FromStr>(flag: &str, value: &str) -> Result<Vec<T>, String>
 where
     T::Err: std::fmt::Display,
 {
@@ -87,13 +101,15 @@ where
         .map(|s| {
             s.trim()
                 .parse()
-                .unwrap_or_else(|e| panic!("{flag}: bad element {s:?}: {e}"))
+                .map_err(|e| format!("{flag}: bad element {s:?}: {e}"))
         })
         .collect()
 }
 
 impl Args {
-    fn from_env() -> Self {
+    /// Parses the argument vector. `Ok(None)` means `--help` was asked
+    /// for; `Err` carries a usage diagnostic (exit code 2 in `main`).
+    fn parse(argv: &[String]) -> Result<Option<Args>, String> {
         let mut cfg = Args {
             smoke: false,
             workloads: WORKLOADS.iter().map(|s| s.to_string()).collect(),
@@ -102,10 +118,10 @@ impl Args {
             ks: vec![512],
             chunks: vec![0],
             ingest: Vec::new(),
+            lane_caps: vec![None],
             reps: 3,
             out: None,
         };
-        let argv: Vec<String> = std::env::args().skip(1).collect();
         // Apply --smoke defaults first, wherever the flag appears, so an
         // explicit --places/--k/--reps always wins regardless of order.
         if argv.iter().any(|a| a == "--smoke") {
@@ -114,42 +130,61 @@ impl Args {
             cfg.ks = vec![64];
             cfg.reps = 1;
         }
-        let mut args = argv.into_iter();
+        let mut lane_caps_given = false;
+        let mut args = argv.iter();
         while let Some(arg) = args.next() {
-            let mut take = |name: &str| -> String {
+            let mut take = |name: &str| -> Result<&String, String> {
                 args.next()
-                    .unwrap_or_else(|| panic!("{name} requires a value"))
+                    .ok_or_else(|| format!("{name} requires a value"))
             };
             match arg.as_str() {
                 "--smoke" => {}
                 "--workloads" => {
-                    cfg.workloads = parse_list::<String>("--workloads", &take("--workloads"));
+                    cfg.workloads = parse_list::<String>("--workloads", take("--workloads")?)?;
                     for w in &cfg.workloads {
-                        assert!(
-                            WORKLOADS.contains(&w.as_str()),
-                            "unknown workload {w:?} (expected one of {WORKLOADS:?})"
-                        );
+                        if !WORKLOADS.contains(&w.as_str()) {
+                            return Err(format!(
+                                "unknown workload {w:?} (expected one of {WORKLOADS:?})"
+                            ));
+                        }
                     }
                 }
-                "--kinds" => cfg.kinds = parse_list("--kinds", &take("--kinds")),
-                "--places" => cfg.places = parse_list("--places", &take("--places")),
-                "--k" => cfg.ks = parse_list("--k", &take("--k")),
-                "--chunks" => cfg.chunks = parse_list("--chunks", &take("--chunks")),
-                "--ingest" => cfg.ingest = parse_list("--ingest", &take("--ingest")),
-                "--reps" => cfg.reps = take("--reps").parse().expect("--reps wants an integer"),
-                "--out" => cfg.out = Some(PathBuf::from(take("--out"))),
-                "--help" | "-h" => {
-                    eprintln!(
-                        "flags: --smoke | --workloads LIST | --kinds LIST | --places LIST \
-                         | --k LIST | --chunks LIST | --ingest PxC,… | --reps N | --out FILE"
-                    );
-                    std::process::exit(0);
+                "--kinds" => cfg.kinds = parse_list("--kinds", take("--kinds")?)?,
+                "--places" => cfg.places = parse_list("--places", take("--places")?)?,
+                "--k" => cfg.ks = parse_list("--k", take("--k")?)?,
+                "--chunks" => cfg.chunks = parse_list("--chunks", take("--chunks")?)?,
+                "--ingest" => cfg.ingest = parse_list("--ingest", take("--ingest")?)?,
+                "--lane-cap" => {
+                    lane_caps_given = true;
+                    cfg.lane_caps = parse_list::<usize>("--lane-cap", take("--lane-cap")?)?
+                        .into_iter()
+                        .map(|c| if c == 0 { None } else { Some(c) })
+                        .collect();
+                    if cfg.lane_caps.is_empty() {
+                        return Err("--lane-cap: expected at least one capacity".into());
+                    }
                 }
-                other => panic!("unknown flag {other}; try --help"),
+                "--reps" => {
+                    cfg.reps = take("--reps")?
+                        .parse()
+                        .map_err(|e| format!("--reps: {e}"))?;
+                }
+                "--out" => cfg.out = Some(PathBuf::from(take("--out")?)),
+                "--help" | "-h" => return Ok(None),
+                other => return Err(format!("unknown flag {other:?}")),
             }
         }
-        assert!(cfg.reps > 0, "--reps must be positive");
-        cfg
+        if cfg.reps == 0 {
+            return Err("--reps must be positive".into());
+        }
+        if lane_caps_given && cfg.ingest.is_empty() {
+            return Err(
+                "--lane-cap bounds the streamed ingress lanes and needs --ingest \
+                 (preseeded runs have no lanes)"
+                    .into(),
+            );
+        }
+        Ok(Some(cfg))
     }
 }
 
@@ -194,8 +229,14 @@ fn make_workload(name: &str, smoke: bool, chunk: usize) -> Option<Box<dyn DynWor
 
 /// One aggregated sweep cell in the `BENCH_batch.json` record format
 /// (the shape itself is defined once, in `priosched_workloads`). Streamed
-/// cells extend the id with an `_iPRODUCERSxCHUNK` tag.
-fn json_record(reports: &[WorkloadReport], chunk: usize, ingest: Option<IngestCell>) -> String {
+/// cells extend the id with an `_iPRODUCERSxCHUNK` tag, and bounded-lane
+/// cells with `_lcCAP`.
+fn json_record(
+    reports: &[WorkloadReport],
+    chunk: usize,
+    ingest: Option<IngestCell>,
+    lane_cap: Option<usize>,
+) -> String {
     let mut suffix = if chunk > 0 {
         format!("_c{chunk}")
     } else {
@@ -204,11 +245,26 @@ fn json_record(reports: &[WorkloadReport], chunk: usize, ingest: Option<IngestCe
     if let Some(cell) = ingest {
         suffix.push_str(&format!("_i{}x{}", cell.producers, cell.chunk));
     }
+    if let Some(cap) = lane_cap {
+        suffix.push_str(&format!("_lc{cap}"));
+    }
     bench_record(reports, &suffix)
 }
 
 fn main() {
-    let args = Args::from_env();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match Args::parse(&argv) {
+        Ok(Some(args)) => args,
+        Ok(None) => {
+            println!("{USAGE}");
+            return;
+        }
+        Err(e) => {
+            eprintln!("schedbench: {e}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
     let cores = std::thread::available_parallelism()
         .map(|c| c.get())
         .unwrap_or(1);
@@ -223,10 +279,14 @@ fn main() {
             " (preseeded)".to_string()
         } else {
             format!(
-                " × ingest {:?}",
+                " × ingest {:?} × lane-cap {:?}",
                 args.ingest
                     .iter()
                     .map(|c| format!("{}x{}", c.producers, c.chunk))
+                    .collect::<Vec<_>>(),
+                args.lane_caps
+                    .iter()
+                    .map(|c| c.map_or("∞".to_string(), |c| c.to_string()))
                     .collect::<Vec<_>>()
             )
         },
@@ -237,8 +297,8 @@ fn main() {
         if args.smoke { "; smoke sizes" } else { "" }
     );
     println!(
-        "{:<10} {:<14} {:>2} {:>6} {:>6} {:>7} | {:>11} {:>9} {:>7}  oracle",
-        "workload", "structure", "P", "k", "chunk", "ingest", "mean", "tasks", "dead"
+        "{:<10} {:<14} {:>2} {:>6} {:>6} {:>7} {:>5} | {:>11} {:>9} {:>7}  oracle",
+        "workload", "structure", "P", "k", "chunk", "ingest", "lcap", "mean", "tasks", "dead"
     );
 
     let mut records = Vec::new();
@@ -253,17 +313,20 @@ fn main() {
             };
             cells_for_workload += 1;
             // Preseeded baseline when --ingest is absent; otherwise every
-            // producers×chunk cell is its own streamed sweep cell.
-            let modes: Vec<Option<IngestCell>> = if args.ingest.is_empty() {
-                vec![None]
+            // producers×chunk×lane-cap cell is its own streamed sweep cell.
+            let modes: Vec<(Option<IngestCell>, Option<usize>)> = if args.ingest.is_empty() {
+                vec![(None, None)]
             } else {
-                args.ingest.iter().copied().map(Some).collect()
+                args.ingest
+                    .iter()
+                    .flat_map(|&cell| args.lane_caps.iter().map(move |&cap| (Some(cell), cap)))
+                    .collect()
             };
             for &kind in &args.kinds {
                 for &places in &args.places {
                     for &k in &args.ks {
-                        let params = PoolParams::with_k(k);
-                        for &mode in &modes {
+                        for &(mode, lane_cap) in &modes {
+                            let params = PoolParams::with_k(k).with_lane_capacity(lane_cap);
                             let reports: Vec<WorkloadReport> = (0..args.reps)
                                 .map(|_| match mode {
                                     None => workload.run(kind, places, params),
@@ -283,7 +346,7 @@ fn main() {
                                 / reports.len() as f64;
                             let bad = reports.iter().find(|r| !r.verified());
                             println!(
-                                "{:<10} {:<14} {:>2} {:>6} {:>6} {:>7} | {:>9.3}ms {:>9} {:>7}  {}",
+                                "{:<10} {:<14} {:>2} {:>6} {:>6} {:>7} {:>5} | {:>9.3}ms {:>9} {:>7}  {}",
                                 name,
                                 kind.label(),
                                 places,
@@ -293,6 +356,7 @@ fn main() {
                                     None => "-".to_string(),
                                     Some(cell) => format!("{}x{}", cell.producers, cell.chunk),
                                 },
+                                lane_cap.map_or("-".to_string(), |c| c.to_string()),
                                 mean_ms,
                                 reports[0].executed,
                                 reports[0].dead,
@@ -305,7 +369,7 @@ fn main() {
                             if bad.is_some() {
                                 failures += 1;
                             }
-                            records.push(json_record(&reports, chunk, mode));
+                            records.push(json_record(&reports, chunk, mode, lane_cap));
                         }
                     }
                 }
@@ -338,4 +402,92 @@ fn main() {
         "\nall {} sweep cells verified against their oracles",
         records.len()
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn ingest_cell_parses_and_rejects() {
+        assert_eq!(
+            "4x32".parse::<IngestCell>().unwrap(),
+            IngestCell {
+                producers: 4,
+                chunk: 32
+            }
+        );
+        assert_eq!(
+            "2X8".parse::<IngestCell>().unwrap(),
+            IngestCell {
+                producers: 2,
+                chunk: 8
+            }
+        );
+        assert!("4y32".parse::<IngestCell>().is_err(), "missing separator");
+        assert!("x32".parse::<IngestCell>().is_err(), "empty producers");
+        assert!("4x".parse::<IngestCell>().is_err(), "empty chunk");
+        assert!("0x8".parse::<IngestCell>().is_err(), "zero producers");
+        assert!("-1x8".parse::<IngestCell>().is_err(), "negative producers");
+    }
+
+    #[test]
+    fn malformed_flags_are_usage_errors_not_panics() {
+        // The former panic paths: each must come back as Err.
+        for bad in [
+            vec!["--ingest", "4y3"],
+            vec!["--ingest", "0x8"],
+            vec!["--ingest"],
+            vec!["--lane-cap", "abc", "--ingest", "2x8"],
+            vec!["--lane-cap", "-4", "--ingest", "2x8"],
+            vec!["--places", "two"],
+            vec!["--reps", "0"],
+            vec!["--reps", "many"],
+            vec!["--workloads", "nope"],
+            vec!["--kinds", "quantum"],
+            vec!["--no-such-flag"],
+        ] {
+            let err = Args::parse(&argv(&bad)).expect_err(&format!("{bad:?} must be rejected"));
+            assert!(!err.is_empty());
+        }
+    }
+
+    #[test]
+    fn lane_cap_requires_ingest() {
+        let err = Args::parse(&argv(&["--lane-cap", "8"])).unwrap_err();
+        assert!(err.contains("--ingest"), "{err}");
+        // With --ingest it parses, 0 meaning unbounded.
+        let args = Args::parse(&argv(&["--ingest", "2x8", "--lane-cap", "0,64"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(args.lane_caps, vec![None, Some(64)]);
+        assert_eq!(
+            args.ingest,
+            vec![IngestCell {
+                producers: 2,
+                chunk: 8
+            }]
+        );
+    }
+
+    #[test]
+    fn smoke_defaults_yield_to_explicit_flags() {
+        let args = Args::parse(&argv(&["--places", "4", "--smoke"]))
+            .unwrap()
+            .unwrap();
+        assert!(args.smoke);
+        assert_eq!(args.places, vec![4], "explicit --places beats --smoke");
+        assert_eq!(args.ks, vec![64]);
+        assert_eq!(args.reps, 1);
+    }
+
+    #[test]
+    fn help_short_circuits() {
+        assert!(Args::parse(&argv(&["--help"])).unwrap().is_none());
+        assert!(Args::parse(&argv(&["-h"])).unwrap().is_none());
+    }
 }

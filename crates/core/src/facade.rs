@@ -284,6 +284,19 @@ impl PoolBuilder {
         self
     }
 
+    /// Bounds each ingress lane of a [`PoolBuilder::service`] built from
+    /// this builder to `capacity` queued tasks (backpressure: `try_submit`
+    /// sheds, blocking `submit` parks — see [`crate::ingest`]). Only
+    /// paths that *construct* lanes honor it: `service` here, and
+    /// sweep harnesses that build lanes from [`PoolParams`].
+    /// [`PoolBuilder::run_stream`] drains caller-constructed lanes, whose
+    /// bound is fixed at [`crate::IngressLanes::with_capacity`] time;
+    /// closed-world runs have no lanes at all.
+    pub fn lane_capacity(mut self, capacity: usize) -> Self {
+        self.params.lane_capacity = Some(capacity);
+        self
+    }
+
     /// Replaces the whole parameter set.
     pub fn params(mut self, params: PoolParams) -> Self {
         self.params = params;
@@ -334,14 +347,15 @@ impl PoolBuilder {
     /// Starts a long-lived [`PoolService`] over a freshly built pool of
     /// this builder's kind: one worker thread per place, accepting
     /// [`PoolService::submit`] / external [`crate::IngestHandle`]
-    /// submissions until shutdown. The open-world front door for all four
-    /// structures.
+    /// submissions until shutdown, with this builder's
+    /// [`PoolBuilder::lane_capacity`] as the backpressure bound. The
+    /// open-world front door for all four structures.
     pub fn service<T, E>(&self, executor: Arc<E>) -> PoolService<T>
     where
         T: Send + 'static,
         E: TaskExecutor<T> + Send + Sync + 'static,
     {
-        PoolService::start(self.build::<T>(), executor)
+        PoolService::start_with_capacity(self.build::<T>(), executor, self.params.lane_capacity)
     }
 }
 
@@ -415,22 +429,24 @@ mod tests {
 
     #[test]
     fn builder_k_respects_pinned_kmax_in_any_order() {
+        let params = |k: usize, kmax: u32| PoolParams {
+            k,
+            kmax,
+            lane_capacity: None,
+        };
         // An explicit kmax survives a later .k() that it still admits…
         let b = PoolBuilder::new(PoolKind::Centralized).kmax(64).k(8);
-        assert_eq!(b.pool_params(), PoolParams { k: 8, kmax: 64 });
+        assert_eq!(b.pool_params(), params(8, 64));
         // …but .k() raises kmax when it would otherwise clamp.
         let b = PoolBuilder::new(PoolKind::Centralized).kmax(64).k(8192);
-        assert_eq!(
-            b.pool_params(),
-            PoolParams {
-                k: 8192,
-                kmax: 8192
-            }
-        );
+        assert_eq!(b.pool_params(), params(8192, 8192));
         // .params() is preserved by a later .k().
-        let custom = PoolParams { k: 1, kmax: 99 };
+        let custom = params(1, 99);
         let b = PoolBuilder::new(PoolKind::Hybrid).params(custom).k(8);
-        assert_eq!(b.pool_params(), PoolParams { k: 8, kmax: 99 });
+        assert_eq!(b.pool_params(), params(8, 99));
+        // .lane_capacity() composes with the other knobs.
+        let b = PoolBuilder::new(PoolKind::Hybrid).k(8).lane_capacity(32);
+        assert_eq!(b.pool_params().lane_capacity, Some(32));
     }
 
     #[test]

@@ -1,25 +1,50 @@
-//! Sharded ingestion lanes: feeding tasks into a *running* pool.
+//! Sharded, bounded ingestion lanes: feeding tasks into a *running* pool.
 //!
 //! The paper's runtime (§2) is closed-world — every root is known at
 //! [`crate::scheduler::Scheduler::run`] time and termination is a single
 //! outstanding-task counter hitting zero. A pool that serves external
 //! traffic needs the opposite: producers that are **not** workers must be
 //! able to submit prioritized tasks while the pool is draining, without
-//! funnelling through one contended entry point.
+//! funnelling through one contended entry point — and without a fast
+//! producer being able to queue unboundedly ahead of the consumers.
 //!
 //! This module supplies the open-world half:
 //!
-//! * [`IngressLanes`] — one MPSC lane per place. Producers append under a
-//!   short per-lane lock; the place's worker moves whole lane contents into
-//!   its pool handle at the *pop boundary* (between task executions), so the
-//!   scheduler-module ordering argument is untouched: no task batch is ever
-//!   popped ahead of execution, and a freshly spawned better-priority task
-//!   can never get stuck behind pre-popped ingested work.
+//! * [`IngressLanes`] — one MPSC lane per place, each with an optional
+//!   **capacity** ([`IngressLanes::with_capacity`]). Producers append under
+//!   a short per-lane lock; the place's worker moves whole lane contents
+//!   into its pool handle at the *pop boundary* (between task executions),
+//!   so the scheduler-module ordering argument is untouched: no task batch
+//!   is ever popped ahead of execution, and a freshly spawned
+//!   better-priority task can never get stuck behind pre-popped ingested
+//!   work. The paper's k-priority structures assume bounded ρ-relaxed
+//!   buffering at every place; a bounded lane extends that stance to the
+//!   producer/consumer boundary.
 //! * [`IngestHandle`] — a cloneable producer handle. Submissions are
 //!   round-robined across lanes so ingestion itself shards; batch
 //!   submissions ride one lane (one lock) and are charged element-wise
 //!   against the `k`/ρ bounds when drained, exactly like
 //!   [`crate::scheduler::SpawnCtx::spawn_batch`].
+//!
+//! # Backpressure
+//!
+//! With a capacity set, every submission path is total — nothing is ever
+//! silently dropped:
+//!
+//! * [`IngestHandle::try_submit`] / [`IngestHandle::try_submit_batch`]
+//!   *shed*: when every lane is full (or the pool aborted / shut down)
+//!   they return a typed [`SubmitError`] **handing the rejected items
+//!   back** to the caller, who may retry, reroute, or drop deliberately.
+//! * [`IngestHandle::submit`] / [`IngestHandle::submit_batch`] *block*:
+//!   they park the producer on the shared space slot until a worker's
+//!   lane drain frees room (or the pool aborts). Blocking batch submits
+//!   larger than the lane capacity are split into capacity-sized chunks
+//!   internally.
+//!
+//! Capacity bounds *lane occupancy*: a lane whose contents were just
+//! swapped out by a drain has room again even while the drained tasks are
+//! still being pushed into the pool (they are accounted by the pending
+//! counter at that point, not the lane).
 //!
 //! # Quiescence
 //!
@@ -37,20 +62,48 @@
 //! minted **before** the streamed run starts, and new handles come only
 //! from cloning live ones while the run is in flight — a producer count
 //! that reads zero can never rise again, so all queued increments have
-//! happened; a lane→pool transfer increments `pending` *before*
-//! decrementing `queued`, so a task is always visible to at least one of
-//! the two counters; reading `queued == 0` after `producers == 0` and
-//! `pending == 0` last therefore proves nothing is left anywhere.
+//! happened (the `queued` increment sits *inside* the lane critical
+//! section of the submitting handle, which the producer refcount keeps
+//! live); a lane→pool transfer increments `pending` *before* decrementing
+//! `queued`, so a task is always visible to at least one of the two
+//! counters; reading `queued == 0` after `producers == 0` and
+//! `pending == 0` last therefore proves nothing is left anywhere. The
+//! `counters_never_hide_a_task_mid_transfer` test races all three roles
+//! and asserts exactly this invariant.
+//!
+//! # Parking and wake events
+//!
+//! Idle workers, join waiters, and blocked producers *park* (see
+//! [`crate::park`]) instead of polling, so every state transition that
+//! could unblock someone must produce a wake. The complete event set:
+//!
+//! | event                                  | wakes |
+//! |----------------------------------------|-------|
+//! | submission into lane `l`               | worker `l` (targeted) |
+//! | lane drain transferred `n > 0` tasks   | blocked producers (space freed) + idle workers (tasks became stealable/spyable) |
+//! | in-pool spawn (streamed runs)          | idle workers (gated broadcast) |
+//! | pending counter reaches zero           | control slot (join waiters); all workers if also quiescent |
+//! | producer refcount reaches zero         | everything (workers re-check quiescence) |
+//! | abort / shutdown                       | everything |
+//!
+//! Every waiter follows the register → re-check → park protocol of
+//! [`crate::park::ParkSlot`], so none of these can be lost to the
+//! check-then-sleep race.
 //!
 //! [`IngressLanes::handle`] *can* re-arm a drained set of lanes (the count
 //! goes 0 → 1 again); that is how the same lanes feed a *subsequent*
 //! streamed run. What the contract rules out is racing such a mint against
-//! a run that is already terminating — see [`IngressLanes::handle`].
+//! a run that is already terminating — see [`IngressLanes::handle`]. A
+//! run that **aborts** (task panic, service drop) instead poisons the
+//! lanes: further submissions fail with [`SubmitError::Aborted`] and
+//! blocked producers are woken into that error, so no producer can park
+//! forever against workers that no longer exist.
 
+use crate::park::Parker;
 use crate::pool::PoolHandle;
 use crossbeam_utils::CachePadded;
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// One queued submission: priority, relaxation bound, payload.
@@ -60,14 +113,73 @@ type Entry<T> = (u64, usize, T);
 /// neighbours.
 type Lane<T> = CachePadded<Mutex<Vec<Entry<T>>>>;
 
+/// A rejected submission. The payload is always handed back — `T` is the
+/// task for scalar [`IngestHandle::try_submit`], `()` for batch variants
+/// (whose items stay in the caller's vector).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitError<T = ()> {
+    /// Every lane is at capacity; a later drain will free room (retry, or
+    /// use the blocking [`IngestHandle::submit`]).
+    Full(T),
+    /// The pool aborted — a task panicked or the service was dropped
+    /// without shutdown. The lanes are permanently poisoned; queued tasks
+    /// are discarded when the lanes drop.
+    Aborted(T),
+    /// The service shut down; no worker will ever drain these lanes again.
+    ShutDown(T),
+}
+
+impl<T> SubmitError<T> {
+    /// The rejected payload, handed back to the caller.
+    pub fn into_task(self) -> T {
+        match self {
+            SubmitError::Full(t) | SubmitError::Aborted(t) | SubmitError::ShutDown(t) => t,
+        }
+    }
+
+    /// This error without its payload (for uniform matching/printing).
+    pub fn kind(&self) -> SubmitError {
+        match self {
+            SubmitError::Full(_) => SubmitError::Full(()),
+            SubmitError::Aborted(_) => SubmitError::Aborted(()),
+            SubmitError::ShutDown(_) => SubmitError::ShutDown(()),
+        }
+    }
+
+    /// `true` for [`SubmitError::Full`] — the only retryable rejection.
+    pub fn is_full(&self) -> bool {
+        matches!(self, SubmitError::Full(_))
+    }
+}
+
+impl<T> std::fmt::Display for SubmitError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SubmitError::Full(_) => "ingress lanes full (capacity reached; task handed back)",
+            SubmitError::Aborted(_) => "pool aborted (task handed back)",
+            SubmitError::ShutDown(_) => "pool shut down (task handed back)",
+        })
+    }
+}
+
+impl<T: std::fmt::Debug> std::error::Error for SubmitError<T> {}
+
+/// Lifecycle gate values (see [`IngressShared::gate`]).
+const GATE_OPEN: u8 = 0;
+const GATE_ABORTED: u8 = 1;
+const GATE_SHUT_DOWN: u8 = 2;
+
 /// Shared state behind [`IngressLanes`] and every [`IngestHandle`].
 pub(crate) struct IngressShared<T: Send> {
     /// One MPSC lane per place; workers drain their own index.
     lanes: Box<[Lane<T>]>,
-    /// Tasks submitted but not yet transferred into the pool. Incremented
-    /// before the lane push; decremented only after the pool push (the
-    /// transfer increments the scheduler's pending counter first, so no
-    /// task is ever invisible to both counters).
+    /// Per-lane occupancy bound; `None` = unbounded.
+    capacity: Option<usize>,
+    /// Tasks submitted but not yet transferred into the pool. Updated
+    /// *inside* the submitting handle's lane critical section; decremented
+    /// only after the pool push (the transfer increments the scheduler's
+    /// pending counter first, so no task is ever invisible to both
+    /// counters).
     queued: AtomicU64,
     /// Live [`IngestHandle`] count. While a streamed run is in flight,
     /// zero is absorbing *by contract*: clones need a live handle, and
@@ -77,6 +189,12 @@ pub(crate) struct IngressShared<T: Send> {
     producers: AtomicUsize,
     /// Round-robin seed so successive handles start on different lanes.
     next_lane: AtomicUsize,
+    /// Lifecycle gate: open / aborted / shut down. Monotonic — once
+    /// raised it never clears; submissions check it first.
+    gate: AtomicU8,
+    /// The parking fabric shared by workers, join waiters, and blocked
+    /// producers (see the module-docs event table).
+    parker: Parker,
 }
 
 impl<T: Send> IngressShared<T> {
@@ -93,6 +211,37 @@ impl<T: Send> IngressShared<T> {
         self.queued.load(Ordering::Relaxed)
     }
 
+    /// The parking fabric (scheduler and service side).
+    pub(crate) fn parker(&self) -> &Parker {
+        &self.parker
+    }
+
+    /// Poisons the lanes (abort) and wakes everything: parked workers
+    /// observe the abort flag, join waiters return `false`, blocked
+    /// producers fail with [`SubmitError::Aborted`] instead of parking
+    /// against workers that are gone.
+    pub(crate) fn abort_and_wake(&self) {
+        // Never downgrade a shutdown; both states end the lanes' life.
+        let _ = self.gate.compare_exchange(
+            GATE_OPEN,
+            GATE_ABORTED,
+            Ordering::AcqRel,
+            Ordering::Relaxed,
+        );
+        self.parker.wake_all();
+    }
+
+    /// Marks the lanes shut down (after the service's workers exited
+    /// cleanly) and wakes any straggler.
+    pub(crate) fn shut_down_and_wake(&self) {
+        self.gate.store(GATE_SHUT_DOWN, Ordering::Release);
+        self.parker.wake_all();
+    }
+
+    fn gate(&self) -> u8 {
+        self.gate.load(Ordering::Acquire)
+    }
+
     /// Moves the contents of lane `place` into `handle`, charging the
     /// scheduler's `pending` counter before any task becomes poppable.
     ///
@@ -102,6 +251,10 @@ impl<T: Send> IngressShared<T> {
     /// sequence of spawns would be. Uses `try_lock`: if a producer holds
     /// the lane, the worker retries on its next pop boundary instead of
     /// blocking (the queued count keeps termination honest meanwhile).
+    ///
+    /// A transfer of `n > 0` tasks is a wake event twice over: the lane
+    /// has room again (blocked producers) and the pool gained tasks that
+    /// other places may steal or spy (idle workers).
     ///
     /// `scratch` and `kbatch` are caller-owned reusable buffers; both are
     /// left empty. Returns the number of tasks transferred.
@@ -142,6 +295,13 @@ impl<T: Send> IngressShared<T> {
             handle.push_batch(prev_k, kbatch);
         }
         self.queued.fetch_sub(n, Ordering::AcqRel);
+        // The lane has room again (only bounded lanes can have producers
+        // parked on the space slot) and the pool has new (possibly
+        // stealable) tasks.
+        if self.capacity.is_some() {
+            self.parker.space().wake_if_waiting();
+        }
+        self.parker.wake_workers_if_idle();
         n
     }
 }
@@ -162,23 +322,42 @@ pub struct IngressLanes<T: Send> {
 }
 
 impl<T: Send> IngressLanes<T> {
-    /// Creates `lanes` empty ingress lanes (one per place of the pool this
-    /// will feed).
+    /// Creates `lanes` empty, **unbounded** ingress lanes (one per place
+    /// of the pool this will feed).
     ///
     /// # Panics
     /// Panics if `lanes` is zero.
     pub fn new(lanes: usize) -> Self {
+        Self::with_capacity(lanes, None)
+    }
+
+    /// Creates `lanes` empty ingress lanes holding at most `capacity`
+    /// tasks **each** (`None` = unbounded). With a capacity set,
+    /// [`IngestHandle::try_submit`] sheds when every lane is full and
+    /// [`IngestHandle::submit`] blocks until a drain frees room.
+    ///
+    /// # Panics
+    /// Panics if `lanes` is zero or `capacity` is `Some(0)` (nothing could
+    /// ever be submitted).
+    pub fn with_capacity(lanes: usize, capacity: Option<usize>) -> Self {
         assert!(lanes > 0, "IngressLanes needs at least one lane");
-        let lanes = (0..lanes)
+        assert!(
+            capacity != Some(0),
+            "lane capacity must be at least 1 (use None for unbounded)"
+        );
+        let lane_vec = (0..lanes)
             .map(|_| CachePadded::new(Mutex::new(Vec::new())))
             .collect::<Vec<_>>()
             .into_boxed_slice();
         IngressLanes {
             shared: Arc::new(IngressShared {
-                lanes,
+                lanes: lane_vec,
+                capacity,
                 queued: AtomicU64::new(0),
                 producers: AtomicUsize::new(0),
                 next_lane: AtomicUsize::new(0),
+                gate: AtomicU8::new(GATE_OPEN),
+                parker: Parker::new(lanes),
             }),
         }
     }
@@ -186,6 +365,11 @@ impl<T: Send> IngressLanes<T> {
     /// Number of lanes (== places of the pool this feeds).
     pub fn num_lanes(&self) -> usize {
         self.shared.lanes.len()
+    }
+
+    /// The per-lane capacity (`None` = unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.shared.capacity
     }
 
     /// Mints a new producer handle, raising the producer refcount. The
@@ -231,6 +415,11 @@ impl<T: Send> IngressLanes<T> {
 /// streamed termination (see module docs). Drop every handle when the
 /// producer side is done — a retained handle keeps
 /// [`crate::Scheduler::run_stream`] (deliberately) waiting for more input.
+///
+/// Submission comes in shedding ([`IngestHandle::try_submit`] /
+/// [`IngestHandle::try_submit_batch`]) and blocking
+/// ([`IngestHandle::submit`] / [`IngestHandle::submit_batch`]) flavors;
+/// on unbounded lanes the two coincide (only abort/shutdown can fail).
 pub struct IngestHandle<T: Send> {
     shared: Arc<IngressShared<T>>,
     /// Lane cursor, advanced round-robin per submission.
@@ -238,36 +427,169 @@ pub struct IngestHandle<T: Send> {
 }
 
 impl<T: Send> IngestHandle<T> {
-    /// Submits one task with priority `prio` (smaller = higher) and
-    /// relaxation bound `k` (§2.2), into the next lane in round-robin
-    /// order.
-    pub fn submit(&mut self, prio: u64, k: usize, task: T) {
-        self.shared.queued.fetch_add(1, Ordering::AcqRel);
-        let lane = self.advance();
-        self.shared.lanes[lane].lock().push((prio, k, task));
+    /// Attempts to submit one task with priority `prio` (smaller =
+    /// higher) and relaxation bound `k` (§2.2). Tries the next
+    /// round-robin lane first, then every other lane; if all are at
+    /// capacity (or the pool aborted / shut down) the task is handed
+    /// back in the error.
+    pub fn try_submit(&mut self, prio: u64, k: usize, task: T) -> Result<(), SubmitError<T>> {
+        match self.shared.gate() {
+            GATE_ABORTED => return Err(SubmitError::Aborted(task)),
+            GATE_SHUT_DOWN => return Err(SubmitError::ShutDown(task)),
+            _ => {}
+        }
+        let n_lanes = self.shared.lanes.len();
+        let start = self.advance();
+        for i in 0..n_lanes {
+            let idx = (start + i) % n_lanes;
+            let mut lane = self.shared.lanes[idx].lock();
+            if self.shared.capacity.is_some_and(|cap| lane.len() >= cap) {
+                continue;
+            }
+            lane.push((prio, k, task));
+            // Inside the lane critical section: a quiescence check can
+            // never observe the queued count and the lane contents out of
+            // step by more than the producer refcount already covers.
+            self.shared.queued.fetch_add(1, Ordering::AcqRel);
+            drop(lane);
+            self.shared.parker.wake_worker(idx);
+            return Ok(());
+        }
+        Err(SubmitError::Full(task))
     }
 
-    /// Submits a batch of `(prio, task)` pairs sharing the relaxation
-    /// bound `k`, draining `batch`. The whole batch rides one lane — one
-    /// lock acquisition — and is later transferred into the pool with one
+    /// Submits one task, **blocking** (parking, not spinning) while every
+    /// lane is at capacity until a worker's drain frees room. Returns the
+    /// task back in `Err` only if the pool aborted or shut down — a live
+    /// pool always accepts eventually.
+    pub fn submit(&mut self, prio: u64, k: usize, mut task: T) -> Result<(), SubmitError<T>> {
+        loop {
+            match self.try_submit(prio, k, task) {
+                Ok(()) => return Ok(()),
+                Err(SubmitError::Full(t)) => {
+                    // Register → re-check → park: a drain between the
+                    // failed attempt and the registration would otherwise
+                    // be a lost wakeup. (The Arc clone decouples the slot
+                    // borrow from `self` for the re-check.)
+                    let shared = Arc::clone(&self.shared);
+                    let space = shared.parker.space();
+                    let token = space.prepare();
+                    match self.try_submit(prio, k, t) {
+                        Ok(()) => {
+                            space.cancel();
+                            return Ok(());
+                        }
+                        Err(SubmitError::Full(t)) => {
+                            space.park(token);
+                            task = t;
+                        }
+                        Err(other) => {
+                            space.cancel();
+                            return Err(other);
+                        }
+                    }
+                }
+                Err(other) => return Err(other),
+            }
+        }
+    }
+
+    /// Attempts to submit a batch of `(prio, task)` pairs sharing the
+    /// relaxation bound `k`. The whole batch rides one lane — one lock
+    /// acquisition — and is later transferred into the pool with one
     /// [`PoolHandle::push_batch`], each element charged individually
     /// against the `k`/ρ bounds.
-    pub fn submit_batch(&mut self, k: usize, batch: &mut Vec<(u64, T)>) {
+    ///
+    /// All-or-nothing: on success `batch` is drained; on error it is
+    /// untouched (every rejected item handed back). A batch larger than
+    /// the lane capacity can never fit and always returns
+    /// [`SubmitError::Full`] — chunk it, or use the blocking
+    /// [`IngestHandle::submit_batch`], which chunks internally.
+    pub fn try_submit_batch(
+        &mut self,
+        k: usize,
+        batch: &mut Vec<(u64, T)>,
+    ) -> Result<(), SubmitError> {
         if batch.is_empty() {
-            return;
+            return Ok(());
         }
-        self.shared
-            .queued
-            .fetch_add(batch.len() as u64, Ordering::AcqRel);
-        let lane = self.advance();
-        self.shared.lanes[lane]
-            .lock()
-            .extend(batch.drain(..).map(|(prio, task)| (prio, k, task)));
+        match self.shared.gate() {
+            GATE_ABORTED => return Err(SubmitError::Aborted(())),
+            GATE_SHUT_DOWN => return Err(SubmitError::ShutDown(())),
+            _ => {}
+        }
+        let n_lanes = self.shared.lanes.len();
+        let start = self.advance();
+        for i in 0..n_lanes {
+            let idx = (start + i) % n_lanes;
+            let mut lane = self.shared.lanes[idx].lock();
+            if self
+                .shared
+                .capacity
+                .is_some_and(|cap| cap - lane.len().min(cap) < batch.len())
+            {
+                continue;
+            }
+            self.shared
+                .queued
+                .fetch_add(batch.len() as u64, Ordering::AcqRel);
+            lane.extend(batch.drain(..).map(|(prio, task)| (prio, k, task)));
+            drop(lane);
+            self.shared.parker.wake_worker(idx);
+            return Ok(());
+        }
+        Err(SubmitError::Full(()))
+    }
+
+    /// Submits a batch, **blocking** while the lanes are full. Batches
+    /// larger than the lane capacity are split into capacity-sized chunks
+    /// (chunks are taken from the back of `batch`; the submitted multiset
+    /// is exactly `batch`'s contents). On `Err` (abort/shutdown) every
+    /// not-yet-submitted item is handed back in `batch`, in unspecified
+    /// order.
+    pub fn submit_batch(&mut self, k: usize, batch: &mut Vec<(u64, T)>) -> Result<(), SubmitError> {
+        let chunk_cap = self.shared.capacity.unwrap_or(usize::MAX);
+        while !batch.is_empty() {
+            let n = batch.len().min(chunk_cap);
+            let mut chunk = batch.split_off(batch.len() - n);
+            loop {
+                match self.try_submit_batch(k, &mut chunk) {
+                    Ok(()) => break,
+                    Err(SubmitError::Full(())) => {
+                        let shared = Arc::clone(&self.shared);
+                        let space = shared.parker.space();
+                        let token = space.prepare();
+                        match self.try_submit_batch(k, &mut chunk) {
+                            Ok(()) => {
+                                space.cancel();
+                                break;
+                            }
+                            Err(SubmitError::Full(())) => space.park(token),
+                            Err(other) => {
+                                space.cancel();
+                                batch.append(&mut chunk);
+                                return Err(other);
+                            }
+                        }
+                    }
+                    Err(other) => {
+                        batch.append(&mut chunk);
+                        return Err(other);
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Number of lanes this handle shards over.
     pub fn num_lanes(&self) -> usize {
         self.shared.lanes.len()
+    }
+
+    /// The per-lane capacity (`None` = unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.shared.capacity
     }
 
     fn advance(&mut self) -> usize {
@@ -290,7 +612,11 @@ impl<T: Send> Clone for IngestHandle<T> {
 
 impl<T: Send> Drop for IngestHandle<T> {
     fn drop(&mut self) {
-        self.shared.producers.fetch_sub(1, Ordering::AcqRel);
+        if self.shared.producers.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Producer count hit zero — a quiescence ingredient flipped;
+            // parked workers and join waiters must re-check.
+            self.shared.parker.wake_all();
+        }
     }
 }
 
@@ -343,7 +669,7 @@ mod tests {
         let lanes: IngressLanes<u64> = IngressLanes::new(4);
         let mut h = lanes.handle();
         for i in 0..8u64 {
-            h.submit(i, 4, i);
+            h.submit(i, 4, i).unwrap();
         }
         assert_eq!(lanes.queued(), 8);
         // Every lane received exactly two scalar submissions.
@@ -357,14 +683,14 @@ mod tests {
         let lanes: IngressLanes<u64> = IngressLanes::new(2);
         let mut h = lanes.handle();
         let mut batch = vec![(1u64, 10u64), (2, 20)];
-        h.submit_batch(8, &mut batch);
+        h.submit_batch(8, &mut batch).unwrap();
         assert!(batch.is_empty());
         // A second batch with a different k lands on the other lane; put it
         // on the same lane by submitting twice (round-robin wraps).
         let mut batch = vec![(3u64, 30u64)];
-        h.submit_batch(16, &mut batch);
+        h.submit_batch(16, &mut batch).unwrap();
         let mut b2 = vec![(4u64, 40u64)];
-        h.submit_batch(16, &mut b2);
+        h.submit_batch(16, &mut b2).unwrap();
         assert_eq!(lanes.queued(), 4);
 
         let pending = AtomicU64::new(0);
@@ -415,7 +741,7 @@ mod tests {
             !lanes.shared().quiescent(),
             "live producer blocks quiescence"
         );
-        h.submit(1, 4, 1);
+        h.submit(1, 4, 1).unwrap();
         drop(h);
         assert!(
             !lanes.shared().quiescent(),
@@ -434,5 +760,210 @@ mod tests {
     #[should_panic(expected = "at least one lane")]
     fn zero_lanes_rejected() {
         let _ = IngressLanes::<u64>::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be at least 1")]
+    fn zero_capacity_rejected() {
+        let _ = IngressLanes::<u64>::with_capacity(2, Some(0));
+    }
+
+    #[test]
+    fn try_submit_sheds_at_capacity_and_hands_the_task_back() {
+        let lanes: IngressLanes<u64> = IngressLanes::with_capacity(2, Some(2));
+        let mut h = lanes.handle();
+        for i in 0..4u64 {
+            h.try_submit(i, 4, 100 + i).unwrap();
+        }
+        // Both lanes now hold 2 tasks each: every further scalar submit
+        // must shed, handing back exactly the rejected payload.
+        match h.try_submit(9, 4, 999) {
+            Err(SubmitError::Full(task)) => assert_eq!(task, 999),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(lanes.queued(), 4, "a shed submission must not count");
+        // A batch that cannot fit any lane is handed back untouched.
+        let mut batch = vec![(1u64, 7u64), (2, 8)];
+        assert_eq!(
+            h.try_submit_batch(4, &mut batch),
+            Err(SubmitError::Full(()))
+        );
+        assert_eq!(batch, vec![(1, 7), (2, 8)], "batch handed back intact");
+        // Draining one lane frees room for exactly the lane capacity.
+        let pending = AtomicU64::new(0);
+        let mut rec = RecordingHandle::default();
+        let (mut scratch, mut kbatch) = (Vec::new(), Vec::new());
+        assert_eq!(
+            lanes
+                .shared()
+                .drain_into(0, &mut rec, &pending, &mut scratch, &mut kbatch),
+            2
+        );
+        assert_eq!(h.try_submit_batch(4, &mut batch), Ok(()));
+        assert!(batch.is_empty());
+        // Accepted multiset is exactly {100..104} ∪ {7, 8}: nothing lost,
+        // the shed 999 never entered.
+        while lanes
+            .shared()
+            .drain_into(0, &mut rec, &pending, &mut scratch, &mut kbatch)
+            + lanes
+                .shared()
+                .drain_into(1, &mut rec, &pending, &mut scratch, &mut kbatch)
+            > 0
+        {}
+        let mut got: Vec<u64> = rec.pushed.iter().map(|&(_, _, t)| t).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![7, 8, 100, 101, 102, 103]);
+    }
+
+    #[test]
+    fn oversized_batch_is_full_even_on_empty_lanes() {
+        let lanes: IngressLanes<u64> = IngressLanes::with_capacity(2, Some(2));
+        let mut h = lanes.handle();
+        let mut batch = vec![(1u64, 1u64), (2, 2), (3, 3)];
+        assert_eq!(
+            h.try_submit_batch(4, &mut batch),
+            Err(SubmitError::Full(()))
+        );
+        assert_eq!(batch.len(), 3);
+        // The blocking variant chunks it instead (2 lanes × cap 2 ≥ 3).
+        h.submit_batch(4, &mut batch).unwrap();
+        assert!(batch.is_empty());
+        assert_eq!(lanes.queued(), 3);
+    }
+
+    #[test]
+    fn aborted_lanes_reject_with_the_task_handed_back() {
+        let lanes: IngressLanes<String> = IngressLanes::new(1);
+        let mut h = lanes.handle();
+        h.submit(1, 4, "before".into()).unwrap();
+        lanes.shared().abort_and_wake();
+        match h.try_submit(2, 4, "after".into()) {
+            Err(SubmitError::Aborted(task)) => assert_eq!(task, "after"),
+            other => panic!("expected Aborted, got {other:?}"),
+        }
+        assert!(h.submit(2, 4, "after".into()).is_err());
+        let mut batch = vec![(1u64, "x".to_string())];
+        assert_eq!(
+            h.try_submit_batch(4, &mut batch),
+            Err(SubmitError::Aborted(()))
+        );
+        assert_eq!(batch.len(), 1, "batch handed back");
+        assert_eq!(h.submit_batch(4, &mut batch), Err(SubmitError::Aborted(())));
+        assert_eq!(batch.len(), 1, "blocking batch handed back on abort");
+        // Shutdown wins over abort in reporting once raised.
+        lanes.shared().shut_down_and_wake();
+        assert_eq!(
+            h.try_submit(3, 4, "z".into()).unwrap_err().kind(),
+            SubmitError::ShutDown(())
+        );
+    }
+
+    #[test]
+    fn blocking_submit_parks_until_a_drain_frees_space() {
+        let lanes: IngressLanes<u64> = IngressLanes::with_capacity(1, Some(1));
+        let mut h = lanes.handle();
+        h.submit(0, 4, 0).unwrap(); // lane now full
+        let shared = Arc::clone(lanes.shared());
+        let producer = std::thread::spawn(move || {
+            let mut h = h;
+            // Blocks until the drainer below frees the lane.
+            h.submit(1, 4, 1).unwrap();
+            drop(h);
+        });
+        // Drain until both tasks came through (the producer may need a
+        // couple of free-ups depending on interleaving).
+        let pending = AtomicU64::new(0);
+        let mut rec = RecordingHandle::default();
+        let (mut scratch, mut kbatch) = (Vec::new(), Vec::new());
+        while rec.pushed.len() < 2 {
+            shared.drain_into(0, &mut rec, &pending, &mut scratch, &mut kbatch);
+            std::thread::yield_now();
+        }
+        producer.join().unwrap();
+        let mut got: Vec<u64> = rec.pushed.iter().map(|&(_, _, t)| t).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1]);
+    }
+
+    #[test]
+    fn blocked_producer_is_woken_into_abort_error() {
+        let lanes: IngressLanes<u64> = IngressLanes::with_capacity(1, Some(1));
+        let mut h = lanes.handle();
+        h.submit(0, 4, 0).unwrap();
+        let started = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let producer = {
+            let started = Arc::clone(&started);
+            std::thread::spawn(move || {
+                let mut h = h;
+                started.store(true, Ordering::Release);
+                // Parks (lane full, nobody drains) until the abort below.
+                let err = h.submit(1, 4, 1).unwrap_err();
+                assert!(matches!(err, SubmitError::Aborted(1)));
+            })
+        };
+        while !started.load(Ordering::Acquire) {
+            std::thread::yield_now();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        lanes.shared().abort_and_wake();
+        producer.join().unwrap();
+    }
+
+    /// The read-order argument, raced: producer, drainer, and a checker
+    /// interleave freely; whenever the checker observes quiescence, every
+    /// submitted task must already be charged to the pending counter —
+    /// i.e. at no instant is a task invisible to both counters.
+    #[test]
+    fn counters_never_hide_a_task_mid_transfer() {
+        const N: u64 = 2_000;
+        let lanes: IngressLanes<u64> = IngressLanes::new(1);
+        let pending = Arc::new(AtomicU64::new(0));
+        let shared = Arc::clone(lanes.shared());
+        std::thread::scope(|s| {
+            let mut h = lanes.handle();
+            s.spawn(move || {
+                for i in 0..N {
+                    h.submit(i, 4, i).unwrap();
+                    if i % 64 == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+                // Dropping `h` here is the producers' "no more input".
+            });
+            let drain_shared = Arc::clone(&shared);
+            let drain_pending = Arc::clone(&pending);
+            s.spawn(move || {
+                let mut rec = RecordingHandle::default();
+                let (mut scratch, mut kbatch) = (Vec::new(), Vec::new());
+                let mut got = 0;
+                while got < N {
+                    got += drain_shared.drain_into(
+                        0,
+                        &mut rec,
+                        &drain_pending,
+                        &mut scratch,
+                        &mut kbatch,
+                    );
+                }
+                assert_eq!(rec.pushed.len() as u64, N);
+            });
+            let check_shared = Arc::clone(&shared);
+            let check_pending = Arc::clone(&pending);
+            s.spawn(move || loop {
+                // Module-docs read order: producers, then queued (inside
+                // `quiescent`), then pending last.
+                if check_shared.quiescent() {
+                    assert_eq!(
+                        check_pending.load(Ordering::Acquire),
+                        N,
+                        "quiescence observed before every task was charged \
+                         to the pending counter"
+                    );
+                    break;
+                }
+                std::hint::spin_loop();
+            });
+        });
     }
 }

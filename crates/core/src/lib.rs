@@ -88,7 +88,7 @@
 //!   batch drains are simply "newer than the batch", the same window a
 //!   scalar pop exposes between its scan and its take-CAS.
 //!
-//! # Ingestion and quiescence
+//! # Ingestion, backpressure, and quiescence
 //!
 //! The paper's runtime is closed-world: all roots are known at
 //! [`scheduler::Scheduler::run`] time and termination is the
@@ -99,6 +99,16 @@
 //!   external producers submit `(prio, task)` scalars and batches through
 //!   cloneable [`ingest::IngestHandle`]s, round-robined across lanes so
 //!   ingestion itself scales with the place count;
+//! * lanes are **bounded** when built with
+//!   [`ingest::IngressLanes::with_capacity`] (or
+//!   [`PoolParams::lane_capacity`] through the facade): `try_submit` /
+//!   `try_submit_batch` *shed* with a typed [`ingest::SubmitError`] that
+//!   hands every rejected item back, while the blocking `submit` /
+//!   `submit_batch` *park* the producer until a worker's drain frees room
+//!   — real backpressure instead of an unbounded queue between producers
+//!   and the pool. After an abort (task panic, service drop) every
+//!   submission path fails with [`ingest::SubmitError::Aborted`] rather
+//!   than silently accepting work that would be discarded;
 //! * each worker transfers its own lane into its pool handle at the **pop
 //!   boundary** (between task executions) via the same batched
 //!   [`pool::PoolHandle::push_batch`] path as
@@ -113,9 +123,34 @@
 //!   for one-shot streamed runs, and as [`service::PoolService`] (or
 //!   [`PoolBuilder::service`]) for a long-lived pool you can
 //!   `submit`/`join` repeatedly — the service holds its own producer
-//!   handle, so its workers idle through gaps instead of terminating, and
-//!   shutdown is nothing but dropping that handle and waiting for
-//!   quiescence.
+//!   handle, so its workers stay alive through gaps instead of
+//!   terminating, and shutdown is nothing but dropping that handle and
+//!   waiting for quiescence.
+//!
+//! ## Parking: idle without burning a core
+//!
+//! Every streamed idle path — workers whose pops fail,
+//! [`service::PoolService::join`], producers blocked on full lanes —
+//! *parks* on the [`park`] subsystem instead of spinning or poll-sleeping.
+//! A quiescent service consumes no CPU: its worker loops make **zero**
+//! iterations until the next submission wakes them (pinned by the
+//! `backpressure` integration tests).
+//!
+//! Parking is lost-wakeup-free by construction. Each waiter follows
+//! *register → re-check → park* on an eventcount ([`park::ParkSlot`]):
+//! it registers as a waiter, re-checks its wait condition, and only then
+//! sleeps — while wakers always advance the slot's epoch before
+//! notifying, so an event that fires inside the race window makes the
+//! park return immediately. The quiescence read-order argument (producers
+//! first, then queued, then pending — see [`ingest`]) extends to parking:
+//! every transition a sleeper could be waiting on (submission, drain,
+//! spawn, pending → 0, producers → 0, abort) is a wake event, and the
+//! re-check after registration observes any transition whose wake was
+//! skipped by the waiter-count gate (a seq-cst fence pairing; see
+//! [`park`] for the precise argument). Workers additionally rely on a
+//! structural invariant of all four pools — a place's local component is
+//! filled only by its own worker — so a parked worker's component is
+//! empty and remaining work always stays reachable by an awake one.
 //!
 //! # Runtime structure selection
 //!
@@ -152,6 +187,7 @@ pub mod hybrid;
 pub mod ingest;
 pub mod item;
 pub mod pareto;
+pub mod park;
 pub mod pool;
 pub mod scheduler;
 pub mod service;
@@ -164,7 +200,7 @@ pub mod workstealing;
 pub use centralized::CentralizedKPriority;
 pub use facade::{run_on_kind, run_stream_on_kind, AnyHandle, AnyPool, PoolBuilder};
 pub use hybrid::HybridKPriority;
-pub use ingest::{IngestHandle, IngressLanes};
+pub use ingest::{IngestHandle, IngressLanes, SubmitError};
 pub use pool::{PoolHandle, PoolKind, PoolParams, TaskPool};
 pub use scheduler::{RunStats, Scheduler, SpawnCtx, TaskExecutor};
 pub use service::PoolService;

@@ -1,0 +1,403 @@
+//! Parker/waker subsystem: blocking idle instead of burning a core.
+//!
+//! Every idle path in the streamed runtime — workers whose pops fail,
+//! [`crate::service::PoolService::join`] waiting for a drain, producers
+//! blocked on a full ingress lane — used to spin with capped backoff
+//! (sleep 50 µs, poll, repeat). This module replaces that with real
+//! parking: an idle thread sleeps on a condvar until an *event* (a
+//! submission, a spawn, a drain, abort, quiescence) wakes it, so a
+//! quiescent pool consumes no CPU at all.
+//!
+//! # The lost-wakeup problem, and the eventcount that solves it
+//!
+//! Naive "check condition, then sleep" loses wakeups: the event can fire
+//! between the check and the sleep, and nobody will ever wake the sleeper.
+//! [`ParkSlot`] is an *eventcount* (a sequence lock for sleeping): waiters
+//! follow a register → re-check → park protocol and wakers always
+//! advance an epoch, so the race window closes:
+//!
+//! 1. **Register:** [`ParkSlot::prepare`] increments the waiter count,
+//!    issues a [`SeqCst`] fence, and reads the current epoch as a token.
+//! 2. **Re-check:** the caller re-examines its wait condition (is there
+//!    work? did the pool abort?). Only if there is still nothing to do
+//!    does it proceed; otherwise it [`ParkSlot::cancel`]s.
+//! 3. **Park:** [`ParkSlot::park`] sleeps only while the epoch still
+//!    equals the token, re-checking under the slot's mutex.
+//!
+//! A waker ([`ParkSlot::wake_all`]) bumps the epoch *first*, then
+//! notifies if any waiter is registered. Whichever way the race goes, no
+//! wakeup is lost:
+//!
+//! * epoch bumped before the token was read → `park` returns immediately
+//!   (token is stale);
+//! * epoch bumped after → the bump happens either before the waiter takes
+//!   the slot mutex (the mutex-guarded epoch check sees it) or while the
+//!   waiter sleeps (the notify, sent under the same mutex, wakes it).
+//!
+//! The cheap-waker path ([`ParkSlot::wake_if_waiting`]) skips even the
+//! epoch bump when no waiter is registered. That gate is sound because of
+//! the [`SeqCst`] fences on both sides: the waker makes its event visible
+//! (e.g. pushes a task), fences, then reads the waiter count; the waiter
+//! increments the count, fences, then re-checks the condition. In the
+//! seq-cst total order either the waker's read sees the registration (and
+//! wakes), or the waiter's re-check is ordered after the waker's fence
+//! and must see the event (and doesn't park). C++20 [atomics.fences]
+//! makes this precise; the point is that *neither* side can miss *both*
+//! signals.
+//!
+//! # Why parked workers cannot strand work
+//!
+//! Parking is only sound if every transition from "nothing to do" to
+//! "something to do" produces a wake event, and if a single re-check
+//! suffices to observe pool state. The scheduler's events are enumerated
+//! in [`crate::ingest`] (submissions, drains, spawns, the pending counter
+//! reaching zero, producer-count reaching zero, abort). The re-check is
+//! reliable because of a structural invariant shared by all four pool
+//! implementations: **a place's local component is filled only by its own
+//! worker** (pushes, steals, raids, and lane drains all land in the
+//! *executing* place's component). A worker only parks after its own pop
+//! failed, so a parked worker's local component is empty and stays empty;
+//! any remaining task is therefore in an *awake* worker's local component
+//! (its next pop finds it) or in a shared component that pops scan
+//! deterministically. The "all workers parked with work remaining" state
+//! is unreachable.
+//!
+//! [`SeqCst`]: std::sync::atomic::Ordering::SeqCst
+
+use crossbeam_utils::CachePadded;
+use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Takes a possibly poisoned std mutex guard; parking state is a plain
+/// `()` token, so poisoning carries no corrupt data (same stance as the
+/// workspace's `parking_lot` facade).
+fn lock_ignore_poison(mutex: &Mutex<()>) -> MutexGuard<'_, ()> {
+    match mutex.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+/// One park/wake rendezvous point (an *eventcount*; see module docs for
+/// the register → re-check → park protocol and its loss-freedom
+/// argument).
+#[derive(Default)]
+pub struct ParkSlot {
+    /// Wake-event sequence number; advanced by every wake.
+    epoch: AtomicU64,
+    /// Threads registered (between [`ParkSlot::prepare`] and the matching
+    /// park/cancel). Gates the waker's slow path.
+    waiters: AtomicUsize,
+    mutex: Mutex<()>,
+    condvar: Condvar,
+}
+
+impl ParkSlot {
+    /// Creates an idle slot.
+    pub fn new() -> Self {
+        ParkSlot::default()
+    }
+
+    /// Registers the calling thread as a waiter and returns the epoch
+    /// token to park on. **Must** be followed by a re-check of the wait
+    /// condition and then exactly one of [`ParkSlot::park`],
+    /// [`ParkSlot::park_timeout`], or [`ParkSlot::cancel`].
+    pub fn prepare(&self) -> u64 {
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        // Pairs with the fence in `wake_if_waiting`: after this fence the
+        // caller's condition re-check is guaranteed to observe any event
+        // whose waker read `waiters` before this registration.
+        fence(Ordering::SeqCst);
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Deregisters without parking (the re-check found work to do).
+    pub fn cancel(&self) {
+        self.waiters.fetch_sub(1, Ordering::Release);
+    }
+
+    /// Blocks until some wake advances the epoch past `token`. Consumes
+    /// the registration made by the matching [`ParkSlot::prepare`].
+    /// Returns immediately if the epoch already moved.
+    pub fn park(&self, token: u64) {
+        let mut guard = lock_ignore_poison(&self.mutex);
+        while self.epoch.load(Ordering::SeqCst) == token {
+            guard = match self.condvar.wait(guard) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+        drop(guard);
+        self.waiters.fetch_sub(1, Ordering::Release);
+    }
+
+    /// Like [`ParkSlot::park`], but gives up after `timeout`. Returns
+    /// `true` if woken by an epoch advance, `false` on timeout. Used
+    /// where the wait condition can change without a parker event (e.g.
+    /// finish-region counters flipped by task completions).
+    pub fn park_timeout(&self, token: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut guard = lock_ignore_poison(&self.mutex);
+        let woken = loop {
+            if self.epoch.load(Ordering::SeqCst) != token {
+                break true;
+            }
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                break false;
+            };
+            guard = match self.condvar.wait_timeout(guard, remaining) {
+                Ok((g, _)) => g,
+                Err(p) => p.into_inner().0,
+            };
+        };
+        drop(guard);
+        self.waiters.fetch_sub(1, Ordering::Release);
+        woken
+    }
+
+    /// Wakes every current and in-flight waiter: advances the epoch, then
+    /// notifies registered sleepers. Always safe to call; one atomic
+    /// increment plus one load when nobody is parked.
+    pub fn wake_all(&self) {
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        if self.waiters.load(Ordering::SeqCst) > 0 {
+            // Taking the mutex orders the notify against a waiter that
+            // passed its epoch check but has not started waiting yet.
+            let _guard = lock_ignore_poison(&self.mutex);
+            self.condvar.notify_all();
+        }
+    }
+
+    /// Hot-path wake: skips the epoch bump entirely when no waiter is
+    /// registered. The [`SeqCst`] fence pairs with [`ParkSlot::prepare`]
+    /// (see module docs) so the skip can never lose a registration that
+    /// would miss the triggering event.
+    ///
+    /// [`SeqCst`]: Ordering::SeqCst
+    pub fn wake_if_waiting(&self) {
+        fence(Ordering::SeqCst);
+        if self.waiters.load(Ordering::Relaxed) > 0 {
+            self.wake_all();
+        }
+    }
+
+    /// Currently registered waiters (diagnostics; racy).
+    pub fn waiters(&self) -> usize {
+        self.waiters.load(Ordering::Relaxed)
+    }
+}
+
+/// The parking fabric of one streamed pool (or service): one slot per
+/// place for its worker, one control slot for join/shutdown waiters, and
+/// one space slot for producers blocked on full ingress lanes.
+///
+/// Per-place worker slots make submission wakes *targeted*: a task pushed
+/// into lane `l` can only be drained by worker `l`, so only slot `l` is
+/// woken. Broadcast events (abort, quiescence, spawned work that any
+/// place could steal or spy) go through [`Parker::wake_workers_if_idle`]
+/// / [`Parker::wake_all`].
+pub struct Parker {
+    workers: Box<[CachePadded<ParkSlot>]>,
+    control: CachePadded<ParkSlot>,
+    space: CachePadded<ParkSlot>,
+    /// Workers currently registered or parked on their slot; gates the
+    /// spawn-path broadcast to one fence + one load when everyone is busy.
+    idle_workers: AtomicUsize,
+    /// Idle-path iterations of all worker loops (diagnostics: a parked
+    /// fleet must not advance this — see `PoolService::idle_iters`).
+    idle_iters: AtomicU64,
+}
+
+impl Parker {
+    /// Creates the fabric for `places` worker slots.
+    pub fn new(places: usize) -> Self {
+        Parker {
+            workers: (0..places)
+                .map(|_| CachePadded::new(ParkSlot::new()))
+                .collect(),
+            control: CachePadded::new(ParkSlot::new()),
+            space: CachePadded::new(ParkSlot::new()),
+            idle_workers: AtomicUsize::new(0),
+            idle_iters: AtomicU64::new(0),
+        }
+    }
+
+    /// Registers worker `place` as idle; same contract as
+    /// [`ParkSlot::prepare`] (re-check, then park or cancel).
+    pub fn worker_prepare(&self, place: usize) -> u64 {
+        self.idle_workers.fetch_add(1, Ordering::SeqCst);
+        self.workers[place].prepare()
+    }
+
+    /// Deregisters worker `place` without parking.
+    pub fn worker_cancel(&self, place: usize) {
+        self.workers[place].cancel();
+        self.idle_workers.fetch_sub(1, Ordering::Release);
+    }
+
+    /// Parks worker `place` on its slot until an event.
+    pub fn worker_park(&self, place: usize, token: u64) {
+        self.workers[place].park(token);
+        self.idle_workers.fetch_sub(1, Ordering::Release);
+    }
+
+    /// Bounded park for worker `place` (see [`ParkSlot::park_timeout`]).
+    pub fn worker_park_timeout(&self, place: usize, token: u64, timeout: Duration) {
+        self.workers[place].park_timeout(token, timeout);
+        self.idle_workers.fetch_sub(1, Ordering::Release);
+    }
+
+    /// Targeted wake of worker `place` (a submission landed in its lane).
+    pub fn wake_worker(&self, place: usize) {
+        self.workers[place].wake_if_waiting();
+    }
+
+    /// Broadcast to every idle worker, gated so the common busy-fleet case
+    /// costs one fence + one load. Called after spawns and lane drains —
+    /// freshly stored tasks may be stealable/spyable by any place.
+    pub fn wake_workers_if_idle(&self) {
+        fence(Ordering::SeqCst);
+        if self.idle_workers.load(Ordering::Relaxed) > 0 {
+            for slot in &self.workers {
+                slot.wake_all();
+            }
+        }
+    }
+
+    /// The join/shutdown waiters' slot.
+    pub fn control(&self) -> &ParkSlot {
+        &self.control
+    }
+
+    /// The blocked-producers' slot (full lanes waiting for a drain).
+    pub fn space(&self) -> &ParkSlot {
+        &self.space
+    }
+
+    /// Wakes everything — workers, control waiters, blocked producers.
+    /// The abort / quiescence / shutdown broadcast.
+    pub fn wake_all(&self) {
+        for slot in &self.workers {
+            slot.wake_all();
+        }
+        self.control.wake_all();
+        self.space.wake_all();
+    }
+
+    /// Records one idle-path iteration of a worker loop.
+    pub fn note_idle_iter(&self) {
+        self.idle_iters.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total idle-path iterations across all worker loops.
+    pub fn idle_iters(&self) -> u64 {
+        self.idle_iters.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    #[test]
+    fn park_returns_immediately_on_stale_token() {
+        let slot = ParkSlot::new();
+        let token = slot.prepare();
+        slot.wake_all(); // epoch moves past the token
+        slot.park(token); // must not block
+        assert_eq!(slot.waiters(), 0);
+    }
+
+    #[test]
+    fn cancel_deregisters() {
+        let slot = ParkSlot::new();
+        let _token = slot.prepare();
+        assert_eq!(slot.waiters(), 1);
+        slot.cancel();
+        assert_eq!(slot.waiters(), 0);
+    }
+
+    #[test]
+    fn wake_all_unblocks_a_parked_thread() {
+        let slot = Arc::new(ParkSlot::new());
+        let parked = Arc::new(AtomicBool::new(false));
+        let t = {
+            let slot = Arc::clone(&slot);
+            let parked = Arc::clone(&parked);
+            std::thread::spawn(move || {
+                let token = slot.prepare();
+                parked.store(true, Ordering::Release);
+                slot.park(token);
+            })
+        };
+        while !parked.load(Ordering::Acquire) {
+            std::hint::spin_loop();
+        }
+        // The thread is registered (maybe not yet asleep); wake_all must
+        // reach it either way.
+        slot.wake_all();
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn wake_if_waiting_covers_the_register_recheck_race() {
+        // Event fires between prepare() and park(): the epoch token is
+        // stale by park time, so the park is a no-op.
+        let slot = ParkSlot::new();
+        let token = slot.prepare();
+        slot.wake_if_waiting(); // sees waiters == 1, bumps epoch
+        slot.park(token); // must not block
+    }
+
+    #[test]
+    fn park_timeout_expires_without_event() {
+        let slot = ParkSlot::new();
+        let token = slot.prepare();
+        let woken = slot.park_timeout(token, Duration::from_millis(5));
+        assert!(!woken, "no event: the bounded park must time out");
+    }
+
+    #[test]
+    fn parker_targets_and_broadcasts() {
+        let parker = Arc::new(Parker::new(2));
+        // Targeted: a registered worker is woken by its own slot.
+        let token = parker.worker_prepare(1);
+        parker.wake_worker(1);
+        parker.worker_park(1, token); // stale token, returns
+                                      // Gated broadcast: with nobody idle this is one fence + load.
+        parker.wake_workers_if_idle();
+        // With an idle worker it must wake it.
+        let t = {
+            let parker = Arc::clone(&parker);
+            std::thread::spawn(move || {
+                let token = parker.worker_prepare(0);
+                parker.worker_park(0, token);
+            })
+        };
+        while parker.idle_workers.load(Ordering::Acquire) == 0 {
+            std::hint::spin_loop();
+        }
+        parker.wake_workers_if_idle();
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn control_and_space_slots_are_independent() {
+        let parker = Parker::new(1);
+        let ctl = parker.control().prepare();
+        parker.space().wake_all(); // must not wake control
+        assert!(!parker.control().park_timeout(ctl, Duration::from_millis(2)));
+        let sp = parker.space().prepare();
+        parker.control().wake_all();
+        assert!(!parker.space().park_timeout(sp, Duration::from_millis(2)));
+        // wake_all reaches both.
+        let ctl = parker.control().prepare();
+        let sp = parker.space().prepare();
+        parker.wake_all();
+        parker.control().park(ctl);
+        parker.space().park(sp);
+    }
+}

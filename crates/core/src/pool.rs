@@ -115,6 +115,12 @@ pub struct PoolParams {
     /// `kmax` for the centralized structure (paper: 512); per-task `k`
     /// values are clamped to it.
     pub kmax: u32,
+    /// Per-lane capacity of the ingress lanes in streamed runs and
+    /// services (`None` = unbounded). With a bound set, `try_submit`
+    /// sheds when every lane is full and blocking `submit` parks until a
+    /// drain frees room — see `priosched_core::ingest`. Ignored by
+    /// closed-world (preseeded) runs, which have no lanes.
+    pub lane_capacity: Option<usize>,
 }
 
 /// The paper's default relaxation parameter (k = 512, found to be a good
@@ -129,6 +135,7 @@ impl Default for PoolParams {
         PoolParams {
             k: DEFAULT_K,
             kmax: DEFAULT_KMAX,
+            lane_capacity: None,
         }
     }
 }
@@ -141,7 +148,15 @@ impl PoolParams {
         PoolParams {
             k,
             kmax: (k.min(u32::MAX as usize) as u32).max(DEFAULT_KMAX),
+            lane_capacity: None,
         }
+    }
+
+    /// The same parameters with a per-lane ingress capacity (see
+    /// [`PoolParams::lane_capacity`]).
+    pub fn with_lane_capacity(mut self, capacity: Option<usize>) -> Self {
+        self.lane_capacity = capacity;
+        self
     }
 }
 

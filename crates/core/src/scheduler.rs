@@ -12,7 +12,10 @@
 //!   after execution); workers whose pops fail spin with backoff until the
 //!   counter reaches zero. Streamed runs ([`Scheduler::run_stream`])
 //!   generalize this to *quiescence*: counter zero **and** empty ingress
-//!   lanes **and** zero live producers — see [`crate::ingest`].
+//!   lanes **and** zero live producers — see [`crate::ingest`]. Streamed
+//!   workers whose backoff is exhausted **park** (see [`crate::park`])
+//!   instead of sleeping in a poll loop; submissions, spawns, drains,
+//!   abort, and the quiescence transitions wake them.
 //! * **Dead-task elimination** (§5.1): tasks report deadness through
 //!   [`TaskExecutor::is_dead`]; dead tasks are dropped at pop time without
 //!   being executed, mirroring the lazy removal in the paper's structures.
@@ -98,6 +101,12 @@ impl<'a, T: Send> SpawnCtx<'a, T> {
         // counter could read zero.
         self.pending.fetch_add(1, Ordering::AcqRel);
         self.handle.push(prio, k, task);
+        // Streamed runs park idle workers; a fresh task may be stealable
+        // or spyable by any of them (gated: one fence + load when the
+        // fleet is busy).
+        if let Some(ing) = self.ingress {
+            ing.parker().wake_workers_if_idle();
+        }
     }
 
     /// Spawns a batch of `(prio, task)` pairs sharing the relaxation bound
@@ -117,6 +126,9 @@ impl<'a, T: Send> SpawnCtx<'a, T> {
         // Increment before push, as in `spawn`.
         self.pending.fetch_add(tasks.len() as u64, Ordering::AcqRel);
         self.handle.push_batch(k, tasks);
+        if let Some(ing) = self.ingress {
+            ing.parker().wake_workers_if_idle();
+        }
     }
 
     /// Borrows the reusable batch buffer (empty). Fill it, pass it to
@@ -163,13 +175,37 @@ impl<'a, T: Send> SpawnCtx<'a, T> {
                     if self.drained_out() {
                         return; // nothing left anywhere; cond can never flip
                     }
-                    if self.ingress.is_some() {
-                        // Same idle cap as the streamed worker loop: a
-                        // finish region may wait a long time for external
-                        // submissions; don't pin a core while it does.
-                        idle_step(&backoff);
-                    } else {
-                        backoff.snooze();
+                    match self.ingress {
+                        Some(ing) if backoff.is_completed() => {
+                            // Park instead of sleeping in a poll loop —
+                            // but *time-bounded*: `cond` is executor state
+                            // (e.g. a finish-region counter) whose flip is
+                            // not a parker event, so an unbounded park
+                            // could outlive it. Submissions, spawns, and
+                            // abort still cut the wait short through the
+                            // normal wake path.
+                            let parker = ing.parker();
+                            parker.note_idle_iter();
+                            let token = parker.worker_prepare(self.place);
+                            if !cond()
+                                || self.abort.load(Ordering::Relaxed)
+                                || self.drain_ingress() > 0
+                            {
+                                parker.worker_cancel(self.place);
+                            } else if let Some(task) = self.handle.pop() {
+                                // A task spawned inside the register race
+                                // window may have skipped its wake (gated
+                                // on a not-yet-visible registration); the
+                                // post-registration pop closes that hole,
+                                // exactly as in `place_loop`.
+                                parker.worker_cancel(self.place);
+                                self.run_one(task);
+                                backoff.reset();
+                            } else {
+                                parker.worker_park_timeout(self.place, token, HELP_WAIT_CAP);
+                            }
+                        }
+                        _ => backoff.snooze(),
                     }
                 }
             }
@@ -214,7 +250,7 @@ impl<'a, T: Send> SpawnCtx<'a, T> {
     fn run_one(&mut self, task: T) {
         if self.executor.is_dead(&task) {
             self.dead += 1;
-            self.pending.fetch_sub(1, Ordering::AcqRel);
+            self.finish_one();
             return;
         }
         // Contain panics: decrement `pending` either way so sibling workers
@@ -230,10 +266,32 @@ impl<'a, T: Send> SpawnCtx<'a, T> {
         if let Err(payload) = result {
             *self.panic_payload.lock() = Some(payload);
             self.abort.store(true, Ordering::Release);
+            if let Some(ing) = self.ingress {
+                // Poison the lanes and wake everything: parked workers
+                // exit, join waiters report the abort, blocked producers
+                // fail with `SubmitError::Aborted` instead of waiting for
+                // drains that will never come.
+                ing.abort_and_wake();
+            }
         } else {
             self.executed += 1;
         }
-        self.pending.fetch_sub(1, Ordering::AcqRel);
+        self.finish_one();
+    }
+
+    /// Releases one unit of the pending counter and fires the quiescence
+    /// wakes when it hits zero: join waiters always re-check on a full
+    /// drain, and if the ingress side is also quiescent the whole run is
+    /// over — every parked worker must observe that and exit.
+    fn finish_one(&mut self) {
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            if let Some(ing) = self.ingress {
+                ing.parker().control().wake_if_waiting();
+                if ing.quiescent() {
+                    ing.parker().wake_all();
+                }
+            }
+        }
     }
 }
 
@@ -275,28 +333,27 @@ impl<P> Scheduler<P> {
     }
 }
 
-/// One idle step of a streamed poll loop: exponential backoff while it
-/// lasts, then a capped sleep — streamed pools (and service `join`s) can
-/// idle through long gaps between submissions and must not pin a core
-/// doing it. The single definition keeps every streamed wait loop's idle
-/// behavior identical (the ROADMAP's waker-based idle story replaces this
-/// in one place).
-pub(crate) fn idle_step(backoff: &Backoff) {
-    if backoff.is_completed() {
-        std::thread::sleep(STREAM_IDLE_SLEEP);
-    } else {
-        backoff.snooze();
-    }
-}
-
-/// Sleep quantum of [`idle_step`] once exponential backoff is exhausted.
-const STREAM_IDLE_SLEEP: Duration = Duration::from_micros(50);
+/// Cap on one bounded park inside [`SpawnCtx::help_while`]: the waited-on
+/// condition (a finish-region counter) can flip without producing a parker
+/// event, so that one wait — and only that one — stays time-bounded.
+const HELP_WAIT_CAP: Duration = Duration::from_micros(200);
 
 /// One place's §2 scheduling loop: pop → execute → repeat until the abort
 /// flag rises or the run drains out. In a streamed run (`ingress` set) the
 /// place additionally transfers its ingress lane into the pool at every
 /// pop boundary and terminates only at quiescence (counter zero *and* no
 /// producers *and* empty lanes).
+///
+/// Streamed idle behavior: a worker whose pop failed spins briefly
+/// (exponential backoff), then **parks** on its [`crate::park`] slot via
+/// register → re-check → park. The re-check (abort, quiescence, lane
+/// drain, one more pop) closes the check-then-sleep race against every
+/// wake event; see the event table in the [`crate::ingest`] module docs.
+/// Parking is safe against "work exists but my pop missed it": a place's
+/// local component is only ever filled by its own worker, so a parked
+/// worker's component is empty and any remaining task is either in an
+/// *awake* worker's component or in a shared component that pops scan
+/// deterministically (see [`crate::park`]).
 ///
 /// Shared by [`Scheduler::run`]/[`Scheduler::run_stream`] (scoped worker
 /// threads) and [`crate::service::PoolService`] (detached worker threads);
@@ -310,7 +367,6 @@ pub(crate) fn place_loop<T: Send>(
     ingress: Option<&IngressShared<T>>,
     place: usize,
 ) -> (u64, u64) {
-    let streamed = ingress.is_some();
     let mut ctx = SpawnCtx {
         handle,
         pending,
@@ -342,13 +398,37 @@ pub(crate) fn place_loop<T: Send>(
                 if ctx.drained_out() {
                     break;
                 }
-                if streamed {
-                    // A streamed pool may idle for long stretches between
-                    // submissions; cap the spin burn instead of busy-waiting
-                    // at full speed until the producers come back.
-                    idle_step(&backoff);
-                } else {
-                    backoff.snooze();
+                match ctx.ingress {
+                    Some(ing) if backoff.is_completed() => {
+                        // Backoff exhausted: park until an event instead of
+                        // poll-sleeping. Register, re-check everything a
+                        // wake could signal, then sleep on the slot.
+                        let parker = ing.parker();
+                        parker.note_idle_iter();
+                        let token = parker.worker_prepare(place);
+                        if abort.load(Ordering::Acquire) || ctx.drained_out() {
+                            parker.worker_cancel(place);
+                            continue; // loop head exits on both conditions
+                        }
+                        if ctx.drain_ingress() > 0 {
+                            parker.worker_cancel(place);
+                            backoff.reset();
+                            continue;
+                        }
+                        match ctx.handle.pop() {
+                            Some(task) => {
+                                parker.worker_cancel(place);
+                                ctx.run_one(task);
+                                backoff.reset();
+                            }
+                            None => parker.worker_park(place, token),
+                        }
+                    }
+                    Some(ing) => {
+                        ing.parker().note_idle_iter();
+                        backoff.snooze();
+                    }
+                    None => backoff.snooze(),
                 }
             }
         }
@@ -666,10 +746,10 @@ mod tests {
                             // Leaf-depth tasks: execute without spawning.
                             batch.push((7, (3u64, i)));
                             if batch.len() == 8 {
-                                h.submit_batch(16, &mut batch);
+                                h.submit_batch(16, &mut batch).unwrap();
                             }
                         }
-                        h.submit_batch(16, &mut batch);
+                        h.submit_batch(16, &mut batch).unwrap();
                     });
                 }
                 sched.run_stream(&exec, vec![(0, 16, (0u64, 0u64))], &ingress)
@@ -721,7 +801,7 @@ mod tests {
         let ingress = IngressLanes::new(2);
         let mut h = ingress.handle();
         for i in 0..30u64 {
-            h.submit(i, 4, i);
+            h.submit(i, 4, i).unwrap();
         }
         drop(h);
         let stats = sched.run_stream(&AllDead, Vec::new(), &ingress);

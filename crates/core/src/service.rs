@@ -10,16 +10,26 @@
 //! The trick is that the service *is* a producer: it holds one
 //! [`IngestHandle`] of its own, so the producer refcount that gates
 //! streamed termination (see [`crate::ingest`]) never reaches zero while
-//! the service lives. Workers therefore idle (with capped backoff) through
-//! arbitrarily long gaps between submissions, and [`PoolService::shutdown`]
-//! is nothing but "drop that last handle, then join" — quiescence, the
-//! same condition `run_stream` uses, becomes the orderly shutdown protocol.
+//! the service lives. Workers therefore **park** (see [`crate::park`])
+//! through arbitrarily long gaps between submissions — a quiescent
+//! service consumes no CPU — and [`PoolService::shutdown`] is nothing but
+//! "drop that last handle, then join" — quiescence, the same condition
+//! `run_stream` uses, becomes the orderly shutdown protocol.
+//!
+//! With [`PoolService::start_with_capacity`] (or
+//! [`crate::PoolBuilder::lane_capacity`]) the ingress lanes are bounded:
+//! [`PoolService::try_submit`] sheds with a typed [`SubmitError`] when
+//! every lane is full, while the blocking [`PoolService::submit`] parks
+//! the producer until a drain frees room. Either way, **after an abort**
+//! (a task panicked — [`PoolService::join`] returned `false` — or the
+//! service was dropped without shutdown) all submission paths fail with
+//! [`SubmitError::Aborted`] and hand the task back, instead of silently
+//! accepting work that would be discarded at shutdown.
 
-use crate::ingest::{IngestHandle, IngressLanes};
+use crate::ingest::{IngestHandle, IngressLanes, SubmitError};
 use crate::pool::{PoolHandle, TaskPool};
-use crate::scheduler::{idle_step, place_loop, RunStats, TaskExecutor};
+use crate::scheduler::{place_loop, RunStats, TaskExecutor};
 use crate::stats::PlaceStats;
-use crossbeam_utils::Backoff;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -53,8 +63,28 @@ impl<T: Send + 'static> PoolService<T> {
         P: TaskPool<T>,
         E: TaskExecutor<T> + Send + Sync + 'static,
     {
+        Self::start_with_capacity(pool, executor, None)
+    }
+
+    /// Like [`PoolService::start`], with a per-lane ingress capacity
+    /// (`None` = unbounded): submissions shed ([`PoolService::try_submit`])
+    /// or block ([`PoolService::submit`]) once a lane is full, giving the
+    /// service real backpressure against producers that outpace the
+    /// workers.
+    ///
+    /// # Panics
+    /// Panics if `lane_capacity` is `Some(0)`.
+    pub fn start_with_capacity<P, E>(
+        pool: Arc<P>,
+        executor: Arc<E>,
+        lane_capacity: Option<usize>,
+    ) -> Self
+    where
+        P: TaskPool<T>,
+        E: TaskExecutor<T> + Send + Sync + 'static,
+    {
         let nplaces = pool.num_places();
-        let lanes = IngressLanes::new(nplaces);
+        let lanes = IngressLanes::with_capacity(nplaces, lane_capacity);
         // Mint the service's own handle before any worker can observe the
         // producer count: a worker started against zero producers would
         // terminate immediately.
@@ -101,23 +131,42 @@ impl<T: Send + 'static> PoolService<T> {
     }
 
     /// Submits one task with priority `prio` (smaller = higher) and
-    /// relaxation bound `k` through the service's own ingest handle.
+    /// relaxation bound `k` through the service's own ingest handle,
+    /// **blocking** (parking) while every bounded lane is at capacity.
     ///
-    /// After the pool has aborted on a task panic ([`PoolService::join`]
-    /// returned `false`), the workers have exited: further submissions are
-    /// accepted but never execute — they are discarded when the service
-    /// shuts down (which re-raises the panic). Check `join` before
-    /// submitting work you cannot afford to lose.
-    pub fn submit(&mut self, prio: u64, k: usize, task: T) {
-        self.own_handle().submit(prio, k, task);
+    /// Fails — handing the task back — once the pool has aborted
+    /// ([`SubmitError::Aborted`]: a task panicked, so the workers have
+    /// exited and the submission would be silently discarded at shutdown)
+    /// or shut down ([`SubmitError::ShutDown`]). A live, unbounded
+    /// service always returns `Ok`.
+    pub fn submit(&mut self, prio: u64, k: usize, task: T) -> Result<(), SubmitError<T>> {
+        self.own_handle().submit(prio, k, task)
+    }
+
+    /// Non-blocking [`PoolService::submit`]: sheds with
+    /// [`SubmitError::Full`] (task handed back) instead of parking when
+    /// every lane is at capacity.
+    pub fn try_submit(&mut self, prio: u64, k: usize, task: T) -> Result<(), SubmitError<T>> {
+        self.own_handle().try_submit(prio, k, task)
     }
 
     /// Submits a batch sharing relaxation bound `k` (one lane, one lock;
-    /// element-wise `k`/ρ accounting on drain), draining `batch`.
-    ///
-    /// Same post-abort caveat as [`PoolService::submit`].
-    pub fn submit_batch(&mut self, k: usize, batch: &mut Vec<(u64, T)>) {
-        self.own_handle().submit_batch(k, batch);
+    /// element-wise `k`/ρ accounting on drain), draining `batch` on
+    /// success; blocks while full, chunking batches larger than the lane
+    /// capacity. On `Err` the unsubmitted items are handed back in
+    /// `batch`. Same abort/shutdown semantics as [`PoolService::submit`].
+    pub fn submit_batch(&mut self, k: usize, batch: &mut Vec<(u64, T)>) -> Result<(), SubmitError> {
+        self.own_handle().submit_batch(k, batch)
+    }
+
+    /// Non-blocking [`PoolService::submit_batch`]: all-or-nothing, with
+    /// the whole batch handed back on [`SubmitError::Full`].
+    pub fn try_submit_batch(
+        &mut self,
+        k: usize,
+        batch: &mut Vec<(u64, T)>,
+    ) -> Result<(), SubmitError> {
+        self.own_handle().try_submit_batch(k, batch)
     }
 
     /// Mints an [`IngestHandle`] for an external producer thread. The
@@ -132,20 +181,46 @@ impl<T: Send + 'static> PoolService<T> {
     /// for the next round of submissions. Returns `false` if the pool
     /// aborted on a task panic instead (the payload re-raises at
     /// [`PoolService::shutdown`]).
+    ///
+    /// Event-driven: the caller parks on the control slot and is woken by
+    /// the pending counter reaching zero (the last task of a drain) or by
+    /// an abort — no polling. The register → re-check → park protocol
+    /// (see [`crate::park`]) closes the race against a drain that
+    /// completes between the check and the sleep.
     pub fn join(&self) -> bool {
-        let backoff = Backoff::new();
+        let drained =
+            |this: &Self| this.lanes.queued() == 0 && this.pending.load(Ordering::Acquire) == 0;
+        let control = self.lanes.shared().parker().control();
         loop {
             if self.abort.load(Ordering::Acquire) {
                 return false;
             }
-            if self.lanes.queued() == 0 && self.pending.load(Ordering::Acquire) == 0 {
+            if drained(self) {
                 // Re-check after observing the drain: a panicking task
                 // raises the abort flag before releasing its pending count,
                 // so a panic-caused drain is visible here.
                 return !self.abort.load(Ordering::Acquire);
             }
-            idle_step(&backoff);
+            let token = control.prepare();
+            if self.abort.load(Ordering::Acquire) || drained(self) {
+                control.cancel();
+                continue; // loop head resolves which of the two it was
+            }
+            control.park(token);
         }
+    }
+
+    /// Total idle-path iterations of the worker loops so far. A healthy
+    /// quiescent service **parks**: this counter stops advancing once the
+    /// workers have gone idle (the no-busy-wait guarantee, pinned by the
+    /// `backpressure` integration tests).
+    pub fn idle_iters(&self) -> u64 {
+        self.lanes.shared().parker().idle_iters()
+    }
+
+    /// The per-lane ingress capacity (`None` = unbounded).
+    pub fn lane_capacity(&self) -> Option<usize> {
+        self.lanes.capacity()
     }
 
     /// Number of places (== worker threads == ingress lanes).
@@ -190,13 +265,19 @@ impl<T: Send + 'static> PoolService<T> {
 
     fn shutdown_inner(&mut self) -> Vec<(u64, u64, PlaceStats)> {
         self.handle = None; // release the service's producer slot
-        self.workers
+        let per_place = self
+            .workers
             .drain(..)
             .map(|j| {
                 j.join()
                     .expect("pool-service worker thread itself panicked")
             })
-            .collect()
+            .collect();
+        // The workers are gone; nothing will ever drain these lanes again.
+        // Mark them so any straggling submission fails with `ShutDown`
+        // instead of queueing into the void.
+        self.lanes.shared().shut_down_and_wake();
+        per_place
     }
 }
 
@@ -212,6 +293,10 @@ impl<T: Send + 'static> Drop for PoolService<T> {
     fn drop(&mut self) {
         if !self.workers.is_empty() {
             self.abort.store(true, Ordering::Release);
+            // Poison the lanes and wake everything: parked workers must
+            // observe the abort to exit, and producers blocked on full
+            // lanes must fail with `Aborted` rather than sleep forever.
+            self.lanes.shared().abort_and_wake();
             let _ = self.shutdown_inner();
         }
     }
@@ -243,14 +328,14 @@ mod tests {
         let mut svc = PoolService::start(pool, Arc::clone(&exec));
         assert_eq!(svc.places(), 2);
 
-        svc.submit(5, 8, 5u64); // 5,4,3,2,1,0 → 6 executions
+        svc.submit(5, 8, 5u64).unwrap(); // 5,4,3,2,1,0 → 6 executions
         assert!(svc.join());
         assert_eq!(exec.0.load(Ordering::Relaxed), 6);
 
         // The service survives the drain: a second round reuses the same
         // workers and pool.
-        svc.submit(2, 8, 2u64);
-        svc.submit(1, 8, 1u64);
+        svc.submit(2, 8, 2u64).unwrap();
+        svc.submit(1, 8, 1u64).unwrap();
         assert!(svc.join());
         assert_eq!(exec.0.load(Ordering::Relaxed), 6 + 3 + 2);
 
@@ -276,10 +361,10 @@ mod tests {
                     for i in 0..per {
                         batch.push((i, i));
                         if batch.len() == 16 {
-                            h.submit_batch(8, &mut batch);
+                            h.submit_batch(8, &mut batch).unwrap();
                         }
                     }
-                    h.submit_batch(8, &mut batch);
+                    h.submit_batch(8, &mut batch).unwrap();
                 });
             }
         });
@@ -305,7 +390,7 @@ mod tests {
     fn task_panic_surfaces_at_shutdown() {
         let pool = Arc::new(PriorityWorkStealing::new(2));
         let mut svc = PoolService::start(pool, Arc::new(PanicOn13));
-        svc.submit(13, 0, 13u64);
+        svc.submit(13, 0, 13u64).unwrap();
         assert!(!svc.join(), "join must report the abort");
         let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| svc.shutdown()))
             .expect_err("shutdown must re-raise the task panic");
@@ -342,7 +427,7 @@ mod tests {
         {
             let pool = Arc::new(HybridKPriority::new(2));
             let mut svc = PoolService::start(pool, Arc::clone(&exec));
-            svc.submit(3, 8, 3u64);
+            svc.submit(3, 8, 3u64).unwrap();
             svc.join();
             // No shutdown: Drop must still release the producer slot and
             // join the workers without hanging.

@@ -157,10 +157,10 @@ fn ingress_lane_tasks_dropped_once_without_running() {
     let lanes: IngressLanes<Tracked> = IngressLanes::new(3);
     let mut h = lanes.handle();
     for i in 0..30u64 {
-        h.submit(i, 4, Tracked::new(&drops));
+        assert!(h.submit(i, 4, Tracked::new(&drops)).is_ok());
     }
     let mut batch: Vec<(u64, Tracked)> = (0..20u64).map(|i| (i, Tracked::new(&drops))).collect();
-    h.submit_batch(8, &mut batch);
+    h.submit_batch(8, &mut batch).unwrap();
     // A clone shares the lanes; dropping handles must not drop tasks.
     let h2 = h.clone();
     drop(h);
@@ -192,7 +192,7 @@ fn aborted_stream_run_drops_lane_and_pool_tasks_once() {
     let lanes: IngressLanes<Tracked> = IngressLanes::new(2);
     let mut h = lanes.handle();
     for i in 0..total {
-        h.submit(i as u64, 4, Tracked::new(&drops));
+        assert!(h.submit(i as u64, 4, Tracked::new(&drops)).is_ok());
     }
     drop(h);
 

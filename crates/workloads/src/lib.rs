@@ -216,9 +216,14 @@ pub fn run_workload<W: Workload + ?Sized>(
 /// producer submits its share through its own
 /// [`priosched_core::IngestHandle`] in chunks of `chunk` tasks (one lane
 /// lock per chunk; `0` means one chunk per producer), concurrently with
-/// the pool draining. The run returns at quiescence and is verified
-/// against the same sequential oracle as a preseeded run — which is the
-/// point: the oracle must not be able to tell the sharded path apart.
+/// the pool draining. With `params.lane_capacity` set the lanes are
+/// bounded and producers use the *blocking* submit path — they park under
+/// backpressure until the workers drain room — so a small capacity
+/// exercises the full shed/park/wake machinery without changing the
+/// semantics. The run returns at quiescence and is verified against the
+/// same sequential oracle as a preseeded run — which is the point: the
+/// oracle must not be able to tell the sharded (or backpressured) path
+/// apart.
 pub fn run_workload_streamed<W: Workload + ?Sized>(
     workload: &W,
     kind: PoolKind,
@@ -234,11 +239,14 @@ pub fn run_workload_streamed<W: Workload + ?Sized>(
     for (i, seed) in seeds.into_iter().enumerate() {
         shards[i % producers].push(seed);
     }
-    let ingress = IngressLanes::new(places);
+    let ingress = IngressLanes::with_capacity(places, params.lane_capacity);
     let run = std::thread::scope(|s| {
         // Handles are minted before the streamed run starts (a run that
         // observes zero producers terminates); each producer thread owns
-        // one and drops it when its shard is fully submitted.
+        // one and drops it when its shard is fully submitted. Blocking
+        // submits park under backpressure; `Err` only means the run
+        // aborted (a task panicked), in which case the producer stops —
+        // the unwind is re-raised by `run_stream_on_kind` itself.
         for shard in shards {
             let mut handle = ingress.handle();
             s.spawn(move || {
@@ -247,14 +255,16 @@ pub fn run_workload_streamed<W: Workload + ?Sized>(
                 for (prio, k, task) in shard {
                     if batch_k != Some(k) || (chunk > 0 && batch.len() >= chunk) {
                         if let Some(prev_k) = batch_k {
-                            handle.submit_batch(prev_k, &mut batch);
+                            if handle.submit_batch(prev_k, &mut batch).is_err() {
+                                return;
+                            }
                         }
                         batch_k = Some(k);
                     }
                     batch.push((prio, task));
                 }
                 if let Some(prev_k) = batch_k {
-                    handle.submit_batch(prev_k, &mut batch);
+                    let _ = handle.submit_batch(prev_k, &mut batch);
                 }
             });
         }

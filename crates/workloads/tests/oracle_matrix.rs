@@ -91,6 +91,35 @@ fn streamed_ingestion_matches_oracles_across_matrix() {
     }
 }
 
+/// The backpressured acceptance matrix: the same streamed sweep with a
+/// deliberately tiny `lane_capacity` (4), so producers hit `Full` lanes
+/// constantly and ride the blocking park/wake path. Bounded buffering at
+/// the producer/consumer boundary must be invisible to every oracle —
+/// backpressure changes *when* tasks enter, never *what* is computed.
+#[test]
+fn streamed_ingestion_with_lane_capacity_matches_oracles_across_matrix() {
+    let workloads: Vec<Box<dyn DynWorkload>> = vec![
+        Box::new(SsspWorkload::random(130, 0.08, 44)),
+        Box::new(BfsWorkload::random_multi(140, 0.06, 77, 32)),
+        Box::new(CholeskyWorkload::random(4, 8, 0xFEED_FACE)),
+        Box::new(KnapsackWorkload::random(24, 2_200, 0x1234_5678_9ABC_DEF0)),
+        Box::new(MoSsspWorkload::random(40, 0.1, 99)),
+    ];
+    let (places, producers, chunk) = (4usize, 4usize, 8usize);
+    let params = PoolParams::with_k(32).with_lane_capacity(Some(4));
+    for workload in &workloads {
+        for kind in PoolKind::ALL {
+            let report = workload.run_streamed(kind, places, params, producers, chunk);
+            report.expect_verified();
+            assert!(
+                report.executed > 0,
+                "{} backpressured on {kind}: nothing executed",
+                workload.name()
+            );
+        }
+    }
+}
+
 /// Strict ordering (k = 1) and heavy relaxation (k = 4096) both stay
 /// correct — the knob trades work for synchronization, never correctness.
 #[test]

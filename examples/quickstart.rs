@@ -7,7 +7,9 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use priosched::core::{run_on_kind, PoolBuilder, PoolKind, PoolParams, SpawnCtx, TaskExecutor};
+use priosched::core::{
+    run_on_kind, PoolBuilder, PoolKind, PoolParams, SpawnCtx, SubmitError, TaskExecutor,
+};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -35,8 +37,14 @@ impl TaskExecutor<(u64, u64)> for TreeWalk {
 
 /// Open-world flow: the pool outlives any one batch of work. External
 /// threads submit through cloneable ingest handles; `join` waits for a
-/// drain without stopping the workers; `shutdown` waits for quiescence
-/// (all handles dropped, nothing queued, nothing pending).
+/// drain without stopping the workers (they *park* while idle — a
+/// quiescent service burns no CPU); `shutdown` waits for quiescence (all
+/// handles dropped, nothing queued, nothing pending).
+///
+/// The lanes here are **bounded** (`lane_capacity`): `try_submit` sheds
+/// with a typed error that hands the task back when every lane is full,
+/// while the blocking `submit`/`submit_batch` park the producer until a
+/// worker drains room — backpressure instead of unbounded queueing.
 fn service_demo(places: usize) {
     let exec = Arc::new(TreeWalk {
         executed: AtomicU64::new(0),
@@ -44,6 +52,7 @@ fn service_demo(places: usize) {
     let mut service = PoolBuilder::new(PoolKind::Hybrid)
         .places(places)
         .k(K)
+        .lane_capacity(8)
         .service::<(u64, u64), _>(Arc::clone(&exec));
 
     // Submit from outside the pool — e.g. request handlers. Each producer
@@ -53,19 +62,30 @@ fn service_demo(places: usize) {
         for producer in 0..2u64 {
             let mut handle = service.ingest_handle();
             s.spawn(move || {
-                // One tree root each, plus a batch of leaf-depth tasks.
-                handle.submit(0, K, (0u64, producer));
+                // One tree root each: shed on backpressure, then fall back
+                // to the blocking path (which parks, not spins).
+                match handle.try_submit(0, K, (0u64, producer)) {
+                    Ok(()) => {}
+                    Err(SubmitError::Full(task)) => {
+                        // Lanes full — the task came back; block for room.
+                        handle.submit(0, K, task).expect("service is live");
+                    }
+                    Err(e) => panic!("service rejected the submission: {e}"),
+                }
+                // Plus a batch of leaf-depth tasks; larger than the lane
+                // capacity is fine — the blocking path chunks it.
                 let mut batch: Vec<(u64, (u64, u64))> =
                     (0..8).map(|i| (MAX_DEPTH, (MAX_DEPTH, i))).collect();
-                handle.submit_batch(K, &mut batch);
+                handle.submit_batch(K, &mut batch).expect("service is live");
             });
         }
     });
 
-    service.join(); // drained — but the workers are still running
+    service.join(); // drained — but the workers are still running (parked)
     let after_round_1 = exec.executed.load(Ordering::Relaxed);
 
-    service.submit(0, K, (0u64, 99)); // a second round on the same pool
+    // A second round on the same pool: the submission wakes the workers.
+    service.submit(0, K, (0u64, 99)).expect("service is live");
     service.join();
 
     let stats = service.shutdown();
