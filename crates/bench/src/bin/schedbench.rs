@@ -7,10 +7,11 @@
 //! regenerable with one command instead of being one-off artifacts.
 //!
 //! ```text
-//! schedbench [--smoke] [--workloads sssp,bfs,cholesky,knapsack,mo_sssp]
+//! schedbench [--smoke] [--workloads sssp,bfs,cholesky,knapsack,mo_sssp,mst]
 //!            [--kinds work_stealing,centralized,hybrid,structural]
 //!            [--places 1,2,4] [--k 512] [--chunks 0] [--reps 3]
-//!            [--ingest PRODUCERSxCHUNK,…] [--lane-cap N,…] [--out FILE.json]
+//!            [--ingest PRODUCERSxCHUNK,…] [--lane-cap N,…]
+//!            [--net CONNSxPER_CONN,…] [--out FILE.json]
 //! ```
 //!
 //! * `--smoke` shrinks every instance and runs one rep — the CI job that
@@ -26,7 +27,15 @@
 //! * `--lane-cap` adds a backpressure axis to `--ingest` cells: each value
 //!   bounds every ingress lane to that many queued tasks (`0` =
 //!   unbounded), so producers block (parking) when they outrun the
-//!   workers. Requires `--ingest`.
+//!   workers. Requires `--ingest` or `--net`.
+//! * `--net` switches to the network sweep: each cell like `4x64` starts
+//!   a fresh in-process `priosched-serve` server per (kind × places × k ×
+//!   lane-cap) combination, drives it with 4 load-client connections of
+//!   64 countdown submissions each over real loopback TCP (batched
+//!   `BATCH` requests), verifies the `DONE` count against the countdown
+//!   oracle, and emits `schedbench_net` records. Mutually exclusive with
+//!   `--ingest` and `--workloads` (the net workload is the wire
+//!   protocol's countdown job).
 //! * Malformed flags are **usage errors**: the sweep prints a diagnostic
 //!   to stderr and exits with code 2 instead of panicking.
 //! * Any oracle mismatch aborts with a nonzero exit code.
@@ -34,17 +43,18 @@
 use priosched_core::{PoolKind, PoolParams};
 use priosched_workloads::{
     bench_record, BfsWorkload, CholeskyWorkload, DynWorkload, KnapsackWorkload, MoSsspWorkload,
-    SsspWorkload, WorkloadReport,
+    MstWorkload, SsspWorkload, WorkloadReport,
 };
 use std::io::Write;
 use std::path::PathBuf;
 
 /// Workload names in sweep order.
-const WORKLOADS: [&str; 5] = ["sssp", "bfs", "cholesky", "knapsack", "mo_sssp"];
+const WORKLOADS: [&str; 6] = ["sssp", "bfs", "cholesky", "knapsack", "mo_sssp", "mst"];
 
 const USAGE: &str = "usage: schedbench [--smoke] [--workloads LIST] [--kinds LIST] \
      [--places LIST] [--k LIST] [--chunks LIST] [--ingest PxC,…] \
-     [--lane-cap N,… (0 = unbounded; requires --ingest)] [--reps N] [--out FILE]";
+     [--lane-cap N,… (0 = unbounded; requires --ingest or --net)] \
+     [--net CxS,…] [--reps N] [--out FILE]";
 
 /// One `--ingest` cell: producer-thread count × submission-chunk size.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -84,6 +94,8 @@ struct Args {
     ks: Vec<usize>,
     chunks: Vec<usize>,
     ingest: Vec<IngestCell>,
+    /// `--net` cells: client connections × submissions per connection.
+    net: Vec<IngestCell>,
     /// Lane-capacity axis for streamed cells; `None` = unbounded (the `0`
     /// spelling on the command line).
     lane_caps: Vec<Option<usize>>,
@@ -118,6 +130,7 @@ impl Args {
             ks: vec![512],
             chunks: vec![0],
             ingest: Vec::new(),
+            net: Vec::new(),
             lane_caps: vec![None],
             reps: 3,
             out: None,
@@ -154,6 +167,7 @@ impl Args {
                 "--k" => cfg.ks = parse_list("--k", take("--k")?)?,
                 "--chunks" => cfg.chunks = parse_list("--chunks", take("--chunks")?)?,
                 "--ingest" => cfg.ingest = parse_list("--ingest", take("--ingest")?)?,
+                "--net" => cfg.net = parse_list("--net", take("--net")?)?,
                 "--lane-cap" => {
                     lane_caps_given = true;
                     cfg.lane_caps = parse_list::<usize>("--lane-cap", take("--lane-cap")?)?
@@ -177,12 +191,23 @@ impl Args {
         if cfg.reps == 0 {
             return Err("--reps must be positive".into());
         }
-        if lane_caps_given && cfg.ingest.is_empty() {
+        if lane_caps_given && cfg.ingest.is_empty() && cfg.net.is_empty() {
             return Err(
                 "--lane-cap bounds the streamed ingress lanes and needs --ingest \
-                 (preseeded runs have no lanes)"
+                 or --net (preseeded runs have no lanes)"
                     .into(),
             );
+        }
+        if !cfg.net.is_empty() && cfg.ingest.is_empty() {
+            // --net cells always run bounded lanes (the whole point is
+            // wire backpressure); default to a small capacity when the
+            // flag is absent.
+            if !lane_caps_given {
+                cfg.lane_caps = vec![Some(64)];
+            }
+        }
+        if !cfg.net.is_empty() && !cfg.ingest.is_empty() {
+            return Err("--net and --ingest are separate sweeps; pass one".into());
         }
         Ok(Some(cfg))
     }
@@ -223,6 +248,13 @@ fn make_workload(name: &str, smoke: bool, chunk: usize) -> Option<Box<dyn DynWor
         } else {
             KnapsackWorkload::random(30, 3_000, 0x1234_5678_9ABC_DEF0)
         })),
+        // MST spawns scalar component-advance tasks; its wide per-vertex
+        // seed stream is the ingestion sweep's best case after BFS.
+        "mst" if chunk == 0 => Some(Box::new(if smoke {
+            MstWorkload::random(140, 0.06, 23)
+        } else {
+            MstWorkload::random(900, 0.01, 23)
+        })),
         _ => None,
     }
 }
@@ -251,6 +283,119 @@ fn json_record(
     bench_record(reports, &suffix)
 }
 
+/// Runs the `--net` sweep: a fresh in-process `priosched-serve` server
+/// per cell, driven over loopback TCP by the load client, verified
+/// against the countdown oracle. Returns `(records, failures)`.
+fn run_net_sweep(args: &Args) -> (Vec<String>, usize) {
+    use priosched_net::{run_load, LoadSpec, Server, ServerConfig};
+    let mut records = Vec::new();
+    let mut failures = 0usize;
+    println!(
+        "{:<14} {:>2} {:>6} {:>7} {:>5} | {:>11} {:>9}  oracle",
+        "structure", "P", "k", "net", "lcap", "mean", "tasks"
+    );
+    for &kind in &args.kinds {
+        for &places in &args.places {
+            for &k in &args.ks {
+                for &cap in &args.lane_caps {
+                    for &cell in &args.net {
+                        let spec = LoadSpec {
+                            conns: cell.producers,
+                            per_conn: cell.chunk,
+                            k,
+                            batch: 8,
+                        };
+                        let mut ns: Vec<f64> = Vec::new();
+                        let mut elements = 0u64;
+                        let mut bad = None;
+                        for _ in 0..args.reps {
+                            let server = Server::bind(
+                                "127.0.0.1:0",
+                                ServerConfig {
+                                    kind,
+                                    places,
+                                    k,
+                                    lane_capacity: cap,
+                                },
+                            )
+                            .expect("bind loopback server");
+                            match run_load(server.local_addr(), &spec) {
+                                Ok(report) => {
+                                    ns.push(report.elapsed.as_nanos() as f64);
+                                    elements = report.expected_executions;
+                                    if !report.verified() {
+                                        bad = Some(format!(
+                                            "executed {} != oracle {}",
+                                            report.executed, report.expected_executions
+                                        ));
+                                    }
+                                }
+                                Err(e) => bad = Some(format!("load client failed: {e}")),
+                            }
+                            server.shutdown();
+                        }
+                        // All-failed cells have no timings; 0s keep the
+                        // emitted record valid JSON (never inf/-inf) —
+                        // the failure itself is reported via exit 1.
+                        let (mean, min, max) = if ns.is_empty() {
+                            (0.0, 0.0, 0.0)
+                        } else {
+                            (
+                                ns.iter().sum::<f64>() / ns.len() as f64,
+                                ns.iter().copied().fold(f64::INFINITY, f64::min),
+                                ns.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                            )
+                        };
+                        println!(
+                            "{:<14} {:>2} {:>6} {:>7} {:>5} | {:>9.3}ms {:>9}  {}",
+                            kind.label(),
+                            places,
+                            k,
+                            format!("{}x{}", cell.producers, cell.chunk),
+                            cap.map_or("-".to_string(), |c| c.to_string()),
+                            mean / 1e6,
+                            elements,
+                            match &bad {
+                                None => "ok".to_string(),
+                                Some(msg) => format!("MISMATCH: {msg}"),
+                            }
+                        );
+                        if bad.is_some() {
+                            failures += 1;
+                        }
+                        records.push(format!(
+                            "{{\"group\": \"schedbench_net\", \"id\": \"{}/p{}_k{}_n{}x{}_lc{}\", \
+                             \"mean_ns\": {mean:.1}, \"min_ns\": {min:.1}, \"max_ns\": {max:.1}, \
+                             \"elements\": {elements}}}",
+                            kind.id(),
+                            places,
+                            k,
+                            cell.producers,
+                            cell.chunk,
+                            cap.unwrap_or(0),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    (records, failures)
+}
+
+/// Writes the collected records as a JSON array to `--out`, if given.
+fn write_records(out: Option<&std::path::Path>, records: &[String]) {
+    if let Some(path) = out {
+        let mut f = std::fs::File::create(path).expect("create --out file");
+        writeln!(f, "[").unwrap();
+        for (i, rec) in records.iter().enumerate() {
+            let comma = if i + 1 < records.len() { "," } else { "" };
+            writeln!(f, "  {rec}{comma}").unwrap();
+        }
+        writeln!(f, "]").unwrap();
+        println!("\nJSON: {} ({} records)", path.display(), records.len());
+    }
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = match Args::parse(&argv) {
@@ -268,6 +413,35 @@ fn main() {
     let cores = std::thread::available_parallelism()
         .map(|c| c.get())
         .unwrap_or(1);
+    if !args.net.is_empty() {
+        println!(
+            "schedbench --net: {} kind(s) × places {:?} × k {:?} × lane-cap {:?} × cells {:?}, {} rep(s)",
+            args.kinds.len(),
+            args.places,
+            args.ks,
+            args.lane_caps
+                .iter()
+                .map(|c| c.map_or("∞".to_string(), |c| c.to_string()))
+                .collect::<Vec<_>>(),
+            args.net
+                .iter()
+                .map(|c| format!("{}x{}", c.producers, c.chunk))
+                .collect::<Vec<_>>(),
+            args.reps
+        );
+        println!("host: {cores} hardware thread(s)\n");
+        let (records, failures) = run_net_sweep(&args);
+        write_records(args.out.as_deref(), &records);
+        if failures > 0 {
+            eprintln!("\n{failures} net sweep cell(s) FAILED oracle verification");
+            std::process::exit(1);
+        }
+        println!(
+            "\nall {} net sweep cells verified against the countdown oracle",
+            records.len()
+        );
+        return;
+    }
     println!(
         "schedbench: {} workload(s) × {} kind(s) × places {:?} × k {:?} × chunks {:?}{}, {} rep(s)",
         args.workloads.len(),
@@ -383,16 +557,7 @@ fn main() {
         );
     }
 
-    if let Some(path) = &args.out {
-        let mut f = std::fs::File::create(path).expect("create --out file");
-        writeln!(f, "[").unwrap();
-        for (i, rec) in records.iter().enumerate() {
-            let comma = if i + 1 < records.len() { "," } else { "" };
-            writeln!(f, "  {rec}{comma}").unwrap();
-        }
-        writeln!(f, "]").unwrap();
-        println!("\nJSON: {} ({} records)", path.display(), records.len());
-    }
+    write_records(args.out.as_deref(), &records);
 
     if failures > 0 {
         eprintln!("\n{failures} sweep cell(s) FAILED oracle verification");
@@ -471,6 +636,46 @@ mod tests {
                 producers: 2,
                 chunk: 8
             }]
+        );
+    }
+
+    #[test]
+    fn net_axis_parses_and_guards() {
+        let args = Args::parse(&argv(&["--net", "4x64"])).unwrap().unwrap();
+        assert_eq!(
+            args.net,
+            vec![IngestCell {
+                producers: 4,
+                chunk: 64
+            }]
+        );
+        assert_eq!(
+            args.lane_caps,
+            vec![Some(64)],
+            "--net defaults to bounded lanes"
+        );
+        // Explicit lane caps win; 0 spells unbounded.
+        let args = Args::parse(&argv(&["--net", "2x8", "--lane-cap", "0,16"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(args.lane_caps, vec![None, Some(16)]);
+        // --net and --ingest are separate sweeps.
+        assert!(Args::parse(&argv(&["--net", "2x8", "--ingest", "2x8"])).is_err());
+        // Malformed cells are usage errors.
+        assert!(Args::parse(&argv(&["--net", "0x8"])).is_err());
+        assert!(Args::parse(&argv(&["--net", "4y8"])).is_err());
+    }
+
+    #[test]
+    fn mst_is_a_known_workload() {
+        let args = Args::parse(&argv(&["--workloads", "mst"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(args.workloads, vec!["mst".to_string()]);
+        assert!(make_workload("mst", true, 0).is_some());
+        assert!(
+            make_workload("mst", true, 8).is_none(),
+            "mst has no spawn-chunk axis"
         );
     }
 

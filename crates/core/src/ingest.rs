@@ -211,6 +211,12 @@ impl<T: Send> IngressShared<T> {
         self.queued.load(Ordering::Relaxed)
     }
 
+    /// Tasks submitted but not yet transferred into the pool (acquire
+    /// read; the drain-side counterpart of [`IngressLanes::queued`]).
+    pub(crate) fn queued_count(&self) -> u64 {
+        self.queued.load(Ordering::Acquire)
+    }
+
     /// The parking fabric (scheduler and service side).
     pub(crate) fn parker(&self) -> &Parker {
         &self.parker
@@ -585,6 +591,19 @@ impl<T: Send> IngestHandle<T> {
     /// Number of lanes this handle shards over.
     pub fn num_lanes(&self) -> usize {
         self.shared.lanes.len()
+    }
+
+    /// Wraps this handle for async submission: the same producer slot,
+    /// with `Full` mapped to `Poll::Pending` instead of a parked thread.
+    /// See [`crate::async_ingest::AsyncIngestHandle`].
+    pub fn into_async(self) -> crate::async_ingest::AsyncIngestHandle<T> {
+        crate::async_ingest::AsyncIngestHandle::new(self)
+    }
+
+    /// The shared ingress state (async futures park their wakers on its
+    /// parking fabric).
+    pub(crate) fn shared(&self) -> &Arc<IngressShared<T>> {
+        &self.shared
     }
 
     /// The per-lane capacity (`None` = unbounded).

@@ -152,6 +152,32 @@
 //! filled only by its own worker — so a parked worker's component is
 //! empty and remaining work always stays reachable by an awake one.
 //!
+//! # Async ingestion
+//!
+//! The [`async_ingest`] module lifts the producer side into futures, so a
+//! network or async frontend can run thousands of logical producers
+//! without a thread each. [`async_ingest::AsyncIngestHandle`] wraps an
+//! [`ingest::IngestHandle`] from the same refcounted lineage (obtained
+//! via [`ingest::IngestHandle::into_async`] or
+//! [`service::PoolService::async_ingest_handle`]); its `submit` /
+//! `submit_batch` futures run the identical register → re-check → park
+//! protocol as the blocking path, except that where a thread would sleep
+//! on the space slot's condvar, the future deposits the task's
+//! [`std::task::Waker`] ([`park::Waiter::Waker`]) and returns
+//! `Poll::Pending` — **`Full` becomes `Pending`**, and the drain that
+//! frees lane space fires the deposited waker through the same
+//! `wake_all` that unparks blocked threads. Abort/shutdown resolve
+//! pending futures to the typed [`ingest::SubmitError`] with the payload
+//! handed back, and dropping a pending future revokes its waker
+//! (cancel-safe). [`service::PoolService::join_async`] is the drain wait
+//! as a future on the control slot. The `async_equivalence` integration
+//! test pins async-submitted ≡ blocking-submitted ≡ preseeded on all four
+//! structures under a tiny lane capacity; no runtime is prescribed — the
+//! in-tree `futures-executor` shim (`block_on` + `LocalPool`) or any
+//! external executor can drive the futures. The `priosched-net` crate
+//! builds the `priosched-serve` TCP frontend on exactly this surface:
+//! one connection actor per socket, each owning an async handle.
+//!
 //! # Runtime structure selection
 //!
 //! [`PoolKind`] names the four structures; the [`facade`] module is the
@@ -180,6 +206,7 @@
 //! implementing that trait; this crate deliberately knows nothing about
 //! them beyond the [`scheduler::TaskExecutor`] contract.
 
+pub mod async_ingest;
 pub mod centralized;
 pub mod facade;
 pub mod garray;
@@ -197,6 +224,7 @@ pub mod task;
 pub(crate) mod util;
 pub mod workstealing;
 
+pub use async_ingest::{AsyncIngestHandle, JoinFuture, SubmitBatchFuture, SubmitFuture};
 pub use centralized::CentralizedKPriority;
 pub use facade::{run_on_kind, run_stream_on_kind, AnyHandle, AnyPool, PoolBuilder};
 pub use hybrid::HybridKPriority;

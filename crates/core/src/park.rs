@@ -34,6 +34,35 @@
 //!   the slot mutex (the mutex-guarded epoch check sees it) or while the
 //!   waiter sleeps (the notify, sent under the same mutex, wakes it).
 //!
+//! # Two flavors of waiter: threads and async wakers
+//!
+//! A slot holds two kinds of waiter ([`Waiter`]): an **OS thread**
+//! ([`Waiter::Thread`]), which sleeps on the slot's condvar, and an
+//! **async task** ([`Waiter::Waker`]), which deposits its
+//! [`std::task::Waker`] in the slot and returns to its executor. Both
+//! flavors follow the *same* register → re-check → park protocol through
+//! [`ParkSlot::prepare`] / [`ParkSlot::park_as`]; they differ only in how
+//! the final "sleep" is realized, so the lost-wakeup argument above covers
+//! them uniformly:
+//!
+//! * a thread re-checks the epoch under the slot mutex before each condvar
+//!   wait;
+//! * a waker is stored under that *same* mutex, after a mutex-guarded
+//!   epoch check. If the epoch already moved, [`ParkSlot::park_as`]
+//!   returns [`Parked::Woken`] and the future simply retries — the exact
+//!   analogue of `park` returning immediately on a stale token. If it has
+//!   not, the waker is in the set before the mutex is released, and every
+//!   subsequent [`ParkSlot::wake_all`] (which takes the mutex, because the
+//!   `prepare` registration is still counted in `waiters`) drains the set
+//!   and calls [`std::task::Waker::wake`]. Either way, an event concurrent
+//!   with registration cannot be missed.
+//!
+//! A registered waker keeps its `prepare` registration held until it is
+//! either fired by a wake (which releases the count) or revoked by
+//! [`ParkSlot::revoke_waker`] (future re-polled or dropped). Wakers are
+//! invoked *outside* the slot mutex — an executor may run arbitrary code
+//! in `wake` — after the count has already been released under it.
+//!
 //! The cheap-waker path ([`ParkSlot::wake_if_waiting`]) skips even the
 //! epoch bump when no waiter is registered. That gate is sound because of
 //! the [`SeqCst`] fences on both sides: the waker makes its event visible
@@ -67,12 +96,47 @@
 use crossbeam_utils::CachePadded;
 use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
+use std::task::Waker;
 use std::time::{Duration, Instant};
 
-/// Takes a possibly poisoned std mutex guard; parking state is a plain
-/// `()` token, so poisoning carries no corrupt data (same stance as the
+/// The two flavors of waiter a [`ParkSlot`] can hold (see module docs).
+pub enum Waiter<'a> {
+    /// The calling OS thread: blocks on the slot's condvar until a wake.
+    Thread,
+    /// An async task: its waker is deposited in the slot and called on the
+    /// next wake; the task's future returns `Poll::Pending` meanwhile.
+    Waker(&'a Waker),
+}
+
+/// Outcome of [`ParkSlot::park_as`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Parked {
+    /// The wait is over: a thread waiter was woken (or found the token
+    /// already stale), or a waker waiter found the token stale before
+    /// registering. Re-check the wait condition and retry.
+    Woken,
+    /// The waker is registered; the future must return `Poll::Pending`.
+    /// Revoke with [`ParkSlot::revoke_waker`] when re-polled or dropped
+    /// before the wake arrives.
+    Registered(WakerId),
+}
+
+/// Identifies one registered async waker within its slot (returned by
+/// [`ParkSlot::park_as`], consumed by [`ParkSlot::revoke_waker`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WakerId(u64);
+
+/// Mutex-guarded slot state: the deposited async wakers.
+#[derive(Default)]
+struct WakerSet {
+    next_id: u64,
+    entries: Vec<(u64, Waker)>,
+}
+
+/// Takes a possibly poisoned std mutex guard; a panicking waiter leaves
+/// only wakers behind, which are safe to fire or drop (same stance as the
 /// workspace's `parking_lot` facade).
-fn lock_ignore_poison(mutex: &Mutex<()>) -> MutexGuard<'_, ()> {
+fn lock_ignore_poison(mutex: &Mutex<WakerSet>) -> MutexGuard<'_, WakerSet> {
     match mutex.lock() {
         Ok(g) => g,
         Err(p) => p.into_inner(),
@@ -86,10 +150,11 @@ fn lock_ignore_poison(mutex: &Mutex<()>) -> MutexGuard<'_, ()> {
 pub struct ParkSlot {
     /// Wake-event sequence number; advanced by every wake.
     epoch: AtomicU64,
-    /// Threads registered (between [`ParkSlot::prepare`] and the matching
-    /// park/cancel). Gates the waker's slow path.
+    /// Waiters registered (between [`ParkSlot::prepare`] and the matching
+    /// park/cancel, plus deposited wakers until they fire or are revoked).
+    /// Gates the waker's slow path.
     waiters: AtomicUsize,
-    mutex: Mutex<()>,
+    mutex: Mutex<WakerSet>,
     condvar: Condvar,
 }
 
@@ -99,10 +164,11 @@ impl ParkSlot {
         ParkSlot::default()
     }
 
-    /// Registers the calling thread as a waiter and returns the epoch
-    /// token to park on. **Must** be followed by a re-check of the wait
-    /// condition and then exactly one of [`ParkSlot::park`],
-    /// [`ParkSlot::park_timeout`], or [`ParkSlot::cancel`].
+    /// Registers the caller (thread or async task) as a waiter and
+    /// returns the epoch token to park on. **Must** be followed by a
+    /// re-check of the wait condition and then exactly one of
+    /// [`ParkSlot::park`], [`ParkSlot::park_timeout`],
+    /// [`ParkSlot::park_as`], or [`ParkSlot::cancel`].
     pub fn prepare(&self) -> u64 {
         self.waiters.fetch_add(1, Ordering::SeqCst);
         // Pairs with the fence in `wake_if_waiting`: after this fence the
@@ -132,6 +198,55 @@ impl ParkSlot {
         self.waiters.fetch_sub(1, Ordering::Release);
     }
 
+    /// Parks as either waiter flavor (see [`Waiter`] and the module docs).
+    ///
+    /// * [`Waiter::Thread`] behaves exactly like [`ParkSlot::park`] and
+    ///   always returns [`Parked::Woken`].
+    /// * [`Waiter::Waker`] deposits the waker **if the token is still
+    ///   current** (checked under the slot mutex, so the check and the
+    ///   deposit are atomic against [`ParkSlot::wake_all`]) and returns
+    ///   [`Parked::Registered`]; the `prepare` registration stays held
+    ///   until the wake fires the waker or [`ParkSlot::revoke_waker`]
+    ///   removes it. A stale token deregisters and returns
+    ///   [`Parked::Woken`] — the caller re-checks and retries, exactly as
+    ///   a thread returning from `park` would.
+    pub fn park_as(&self, token: u64, waiter: Waiter<'_>) -> Parked {
+        match waiter {
+            Waiter::Thread => {
+                self.park(token);
+                Parked::Woken
+            }
+            Waiter::Waker(waker) => {
+                let mut guard = lock_ignore_poison(&self.mutex);
+                if self.epoch.load(Ordering::SeqCst) != token {
+                    drop(guard);
+                    self.waiters.fetch_sub(1, Ordering::Release);
+                    return Parked::Woken;
+                }
+                let id = guard.next_id;
+                guard.next_id += 1;
+                guard.entries.push((id, waker.clone()));
+                Parked::Registered(WakerId(id))
+            }
+        }
+    }
+
+    /// Removes a waker deposited by [`ParkSlot::park_as`], releasing its
+    /// registration. Returns `false` when the waker was already consumed
+    /// by a wake (which released the registration itself) — the two paths
+    /// release exactly once between them. Call on every re-poll and on
+    /// future drop.
+    pub fn revoke_waker(&self, id: WakerId) -> bool {
+        let mut guard = lock_ignore_poison(&self.mutex);
+        let Some(pos) = guard.entries.iter().position(|(eid, _)| *eid == id.0) else {
+            return false;
+        };
+        guard.entries.swap_remove(pos);
+        drop(guard);
+        self.waiters.fetch_sub(1, Ordering::Release);
+        true
+    }
+
     /// Like [`ParkSlot::park`], but gives up after `timeout`. Returns
     /// `true` if woken by an epoch advance, `false` on timeout. Used
     /// where the wait condition can change without a parker event (e.g.
@@ -156,16 +271,30 @@ impl ParkSlot {
         woken
     }
 
-    /// Wakes every current and in-flight waiter: advances the epoch, then
-    /// notifies registered sleepers. Always safe to call; one atomic
-    /// increment plus one load when nobody is parked.
+    /// Wakes every current and in-flight waiter — parked threads *and*
+    /// deposited async wakers: advances the epoch, then notifies
+    /// registered sleepers. Always safe to call; one atomic increment plus
+    /// one load when nobody is parked.
     pub fn wake_all(&self) {
         self.epoch.fetch_add(1, Ordering::SeqCst);
         if self.waiters.load(Ordering::SeqCst) > 0 {
             // Taking the mutex orders the notify against a waiter that
             // passed its epoch check but has not started waiting yet.
-            let _guard = lock_ignore_poison(&self.mutex);
+            let mut guard = lock_ignore_poison(&self.mutex);
             self.condvar.notify_all();
+            let fired = std::mem::take(&mut guard.entries);
+            // Release each drained waker's registration under the mutex,
+            // so a concurrent `revoke_waker` (which no longer finds the
+            // entry) cannot double-release it…
+            if !fired.is_empty() {
+                self.waiters.fetch_sub(fired.len(), Ordering::Release);
+            }
+            drop(guard);
+            // …but invoke the wakers outside it: `wake` runs executor code
+            // that may take arbitrary locks of its own.
+            for (_, waker) in fired {
+                waker.wake();
+            }
         }
     }
 
@@ -382,6 +511,113 @@ mod tests {
         }
         parker.wake_workers_if_idle();
         t.join().unwrap();
+    }
+
+    /// Waker whose `wake` flips a shared counter (observable from tests).
+    struct CountWaker(AtomicUsize);
+
+    impl std::task::Wake for CountWaker {
+        fn wake(self: Arc<Self>) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn count_waker() -> (Arc<CountWaker>, std::task::Waker) {
+        let counter = Arc::new(CountWaker(AtomicUsize::new(0)));
+        let waker = std::task::Waker::from(Arc::clone(&counter));
+        (counter, waker)
+    }
+
+    #[test]
+    fn registered_waker_fires_on_wake_and_releases_registration() {
+        let slot = ParkSlot::new();
+        let (counter, waker) = count_waker();
+        let token = slot.prepare();
+        let Parked::Registered(id) = slot.park_as(token, Waiter::Waker(&waker)) else {
+            panic!("fresh token must register");
+        };
+        assert_eq!(slot.waiters(), 1, "registration held while deposited");
+        slot.wake_all();
+        assert_eq!(counter.0.load(Ordering::SeqCst), 1, "waker must fire");
+        assert_eq!(slot.waiters(), 0, "wake releases the registration");
+        assert!(!slot.revoke_waker(id), "already consumed by the wake");
+    }
+
+    #[test]
+    fn stale_token_rejects_waker_registration() {
+        let slot = ParkSlot::new();
+        let (counter, waker) = count_waker();
+        let token = slot.prepare();
+        slot.wake_all(); // epoch moves past the token
+        assert_eq!(
+            slot.park_as(token, Waiter::Waker(&waker)),
+            Parked::Woken,
+            "stale token: the future must retry, not sleep"
+        );
+        assert_eq!(slot.waiters(), 0);
+        assert_eq!(counter.0.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn revoked_waker_never_fires() {
+        let slot = ParkSlot::new();
+        let (counter, waker) = count_waker();
+        let token = slot.prepare();
+        let Parked::Registered(id) = slot.park_as(token, Waiter::Waker(&waker)) else {
+            panic!("fresh token must register");
+        };
+        assert!(slot.revoke_waker(id));
+        assert_eq!(slot.waiters(), 0);
+        slot.wake_all();
+        assert_eq!(counter.0.load(Ordering::SeqCst), 0, "revoked ≠ woken");
+    }
+
+    #[test]
+    fn thread_flavor_of_park_as_matches_park() {
+        let slot = ParkSlot::new();
+        let token = slot.prepare();
+        slot.wake_all();
+        assert_eq!(slot.park_as(token, Waiter::Thread), Parked::Woken);
+        assert_eq!(slot.waiters(), 0);
+    }
+
+    /// The satellite race test: a waker registered *concurrently* with a
+    /// wake is never lost. Whatever the interleaving, either registration
+    /// observes the stale token (the future retries immediately) or the
+    /// wake fires the deposited waker — a registration that neither
+    /// retries nor fires would hang an async submitter forever.
+    #[test]
+    fn waker_registered_concurrently_with_wake_is_never_lost() {
+        for _ in 0..2_000 {
+            let slot = Arc::new(ParkSlot::new());
+            let (counter, waker) = count_waker();
+            let waiter = {
+                let slot = Arc::clone(&slot);
+                std::thread::spawn(move || {
+                    let token = slot.prepare();
+                    slot.park_as(token, Waiter::Waker(&waker))
+                })
+            };
+            slot.wake_all();
+            match waiter.join().unwrap() {
+                Parked::Woken => {} // stale token observed: retry path
+                Parked::Registered(_) => {
+                    // Deposited before our wake drained the set, or after
+                    // it (in which case a later wake must still fire it —
+                    // the registration is still counted, so the next
+                    // wake_all takes the slow path).
+                    if counter.0.load(Ordering::SeqCst) == 0 {
+                        slot.wake_all();
+                    }
+                    assert_eq!(
+                        counter.0.load(Ordering::SeqCst),
+                        1,
+                        "registered waker lost across a concurrent wake"
+                    );
+                }
+            }
+            assert_eq!(slot.waiters(), 0);
+        }
     }
 
     #[test]

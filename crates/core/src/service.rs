@@ -26,6 +26,7 @@
 //! [`SubmitError::Aborted`] and hand the task back, instead of silently
 //! accepting work that would be discarded at shutdown.
 
+use crate::async_ingest::{AsyncIngestHandle, JoinFuture};
 use crate::ingest::{IngestHandle, IngressLanes, SubmitError};
 use crate::pool::{PoolHandle, TaskPool};
 use crate::scheduler::{place_loop, RunStats, TaskExecutor};
@@ -176,6 +177,15 @@ impl<T: Send + 'static> PoolService<T> {
         self.lanes.handle()
     }
 
+    /// Mints an [`AsyncIngestHandle`] for an async producer (connection
+    /// actor, request handler): same producer lineage and refcount as
+    /// [`PoolService::ingest_handle`], but `Full` lanes make the submit
+    /// futures `Pending` (waker deposited where the blocking path parks a
+    /// thread) instead of blocking. See [`crate::async_ingest`].
+    pub fn async_ingest_handle(&self) -> AsyncIngestHandle<T> {
+        self.lanes.handle().into_async()
+    }
+
     /// Blocks until everything submitted so far has been executed (lanes
     /// empty, outstanding-task counter zero) — the workers stay running
     /// for the next round of submissions. Returns `false` if the pool
@@ -208,6 +218,18 @@ impl<T: Send + 'static> PoolService<T> {
             }
             control.park(token);
         }
+    }
+
+    /// Async sibling of [`PoolService::join`]: a future that resolves to
+    /// `true` once everything submitted so far has been executed (lanes
+    /// empty, outstanding-task counter zero — the service's quiescence
+    /// condition short of dropping producers), or `false` if the pool
+    /// aborted on a task panic. The future deposits its waker on the
+    /// control slot where the blocking join parks, so it is woken by the
+    /// same pending-counter-reaches-zero / abort events, and it revokes
+    /// the deposit when dropped before the drain.
+    pub fn join_async(&self) -> JoinFuture<'_, T> {
+        JoinFuture::new(self.lanes.shared(), &self.pending, &self.abort)
     }
 
     /// Total idle-path iterations of the worker loops so far. A healthy

@@ -1,0 +1,808 @@
+#![warn(missing_docs)]
+
+//! TCP ingestion frontend over [`PoolService`]: the `priosched-serve`
+//! network layer.
+//!
+//! This crate is the open-world scheduler's front door for remote
+//! producers: a line-protocol TCP server whose connections feed a running
+//! pool through the async ingestion path (`priosched_core::async_ingest`).
+//! Each accepted socket gets its **own connection actor** — an async
+//! function holding an [`AsyncIngestHandle`] cloned from the service's
+//! producer lineage — driven by the in-tree `futures-executor` shim on a
+//! lightweight per-connection thread. Dropping the handle on disconnect
+//! is the connection's "no more input" signal, so the service's
+//! quiescence protocol extends to the network unchanged.
+//!
+//! # Backpressure, end to end
+//!
+//! The actor reads **one request at a time** and does not read the next
+//! line until the current submission was accepted by the lanes. When the
+//! pool's bounded ingress lanes are full, the actor's submit future is
+//! `Pending` (its waker parked where blocking producers park threads), the
+//! actor stops reading its socket, the kernel's TCP receive window fills,
+//! and the *client's* sends stall — backpressure propagates to the wire
+//! instead of buffering unboundedly in the server. A quiescent server with
+//! idle connections burns no CPU: actors are blocked in `read`, pool
+//! workers are parked ([`Server::idle_iters`] stops advancing — the same
+//! guarantee as `PoolService::idle_iters`).
+//!
+//! # Protocol
+//!
+//! Newline-terminated ASCII requests, one reply line per request:
+//!
+//! | request | reply | meaning |
+//! |---|---|---|
+//! | `SUBMIT <prio> <k> <value>` | `OK` | enqueue one countdown job |
+//! | `BATCH <k> <prio>:<value> …` | `OK <n>` | enqueue a batch (one lane, one lock) |
+//! | `JOIN` | `DONE <executed>` | wait until the pool drained |
+//! | `STATS` | `STATS accepted=… …` | this connection's counters |
+//! | `PING` | `PONG` | liveness probe |
+//! | `QUIT` | `BYE` | orderly goodbye (server closes) |
+//!
+//! Malformed requests get `ERR <reason>` and the connection stays open;
+//! submissions rejected by a poisoned pool get `ERR aborted` /
+//! `ERR shutdown`.
+//!
+//! A *job* is a countdown chain: value `v` executes and spawns `v-1`
+//! (priority = value, smaller first) down to zero — `v + 1` executions per
+//! submission. The chain gives every submission a deterministic execution
+//! count, so a client can verify the server end-to-end:
+//! `DONE <executed>` after quiescence must equal
+//! `Σ (value_i + 1)` over everything accepted — the oracle the round-trip
+//! tests and the `schedbench --net` axis check.
+//!
+//! # Shutdown
+//!
+//! [`Server::shutdown`] (also run by `Drop`) is graceful by construction:
+//! stop accepting (listener poked closed), shut the read half of every
+//! live connection (actors finish their current request, reply, and exit,
+//! dropping their producer handles), join the actors, then
+//! [`PoolService::shutdown`] — which *drains to quiescence* rather than
+//! aborting, so work accepted from a client is never discarded.
+
+use priosched_core::async_ingest::AsyncIngestHandle;
+use priosched_core::{PoolBuilder, PoolKind, PoolService, RunStats, SpawnCtx, TaskExecutor};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// The executor behind every served job: value `v` counts one execution
+/// and spawns `v - 1`, so a submission of `v` contributes exactly `v + 1`
+/// executions — the server's verifiable oracle.
+pub struct CountdownExec {
+    k: usize,
+    executed: AtomicU64,
+}
+
+impl CountdownExec {
+    /// Creates the executor; spawned children carry relaxation bound `k`.
+    pub fn new(k: usize) -> Self {
+        CountdownExec {
+            k,
+            executed: AtomicU64::new(0),
+        }
+    }
+
+    /// Jobs executed so far, across all connections.
+    pub fn executed(&self) -> u64 {
+        self.executed.load(Ordering::Acquire)
+    }
+
+    /// The oracle: executions a submission of `value` contributes.
+    pub fn expected_executions(value: u64) -> u64 {
+        value + 1
+    }
+}
+
+impl TaskExecutor<u64> for CountdownExec {
+    fn execute(&self, value: u64, ctx: &mut SpawnCtx<'_, u64>) {
+        self.executed.fetch_add(1, Ordering::AcqRel);
+        if value > 0 {
+            ctx.spawn(value - 1, self.k, value - 1);
+        }
+    }
+}
+
+/// One parsed protocol request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// `SUBMIT <prio> <k> <value>`
+    Submit {
+        /// Priority key (smaller = higher).
+        prio: u64,
+        /// Relaxation bound for this job.
+        k: usize,
+        /// Countdown start value.
+        value: u64,
+    },
+    /// `BATCH <k> <prio>:<value> …`
+    Batch {
+        /// Relaxation bound shared by the batch.
+        k: usize,
+        /// `(prio, value)` pairs, submitted through one lane.
+        jobs: Vec<(u64, u64)>,
+    },
+    /// `JOIN` — wait for the pool to drain.
+    Join,
+    /// `STATS` — this connection's counters.
+    Stats,
+    /// `PING` — liveness probe.
+    Ping,
+    /// `QUIT` — orderly goodbye.
+    Quit,
+}
+
+/// Parses one protocol line (without its newline). `Err` is the reason
+/// echoed back as `ERR <reason>`.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let mut words = line.split_ascii_whitespace();
+    let verb = words.next().ok_or("empty request")?;
+    match verb {
+        "SUBMIT" => {
+            let mut num = |name: &str| -> Result<u64, String> {
+                words
+                    .next()
+                    .ok_or(format!("SUBMIT missing {name}"))?
+                    .parse()
+                    .map_err(|_| format!("SUBMIT: bad {name}"))
+            };
+            let (prio, k, value) = (num("prio")?, num("k")?, num("value")?);
+            if words.next().is_some() {
+                return Err("SUBMIT: trailing garbage".into());
+            }
+            Ok(Request::Submit {
+                prio,
+                k: k as usize,
+                value,
+            })
+        }
+        "BATCH" => {
+            let k: usize = words
+                .next()
+                .ok_or("BATCH missing k")?
+                .parse()
+                .map_err(|_| "BATCH: bad k".to_string())?;
+            let mut jobs = Vec::new();
+            for pair in words {
+                let (p, v) = pair
+                    .split_once(':')
+                    .ok_or_else(|| format!("BATCH: expected prio:value, got {pair:?}"))?;
+                let prio = p
+                    .parse()
+                    .map_err(|_| format!("BATCH: bad prio in {pair:?}"))?;
+                let value = v
+                    .parse()
+                    .map_err(|_| format!("BATCH: bad value in {pair:?}"))?;
+                jobs.push((prio, value));
+            }
+            if jobs.is_empty() {
+                return Err("BATCH: no jobs".into());
+            }
+            Ok(Request::Batch { k, jobs })
+        }
+        "JOIN" => Ok(Request::Join),
+        "STATS" => Ok(Request::Stats),
+        "PING" => Ok(Request::Ping),
+        "QUIT" => Ok(Request::Quit),
+        other => Err(format!("unknown verb {other:?}")),
+    }
+}
+
+/// Per-connection counters, reported by `STATS` and aggregated into the
+/// [`ServeSummary`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConnStats {
+    /// Jobs accepted into the lanes (scalar + batch items).
+    pub accepted: u64,
+    /// Of those, jobs that arrived in `BATCH` requests.
+    pub batch_items: u64,
+    /// `JOIN` requests served.
+    pub joins: u64,
+    /// Malformed or rejected requests.
+    pub errors: u64,
+}
+
+/// Construction parameters of a [`Server`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Scheduling structure backing the pool.
+    pub kind: PoolKind,
+    /// Worker threads (== ingress lanes).
+    pub places: usize,
+    /// Relaxation bound handed to pool construction.
+    pub k: usize,
+    /// Per-lane ingress capacity (`None` = unbounded). Bounded lanes are
+    /// what make the submit futures pend — and the clients stall — under
+    /// overload.
+    pub lane_capacity: Option<usize>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            kind: PoolKind::Hybrid,
+            places: 2,
+            k: 64,
+            lane_capacity: Some(256),
+        }
+    }
+}
+
+/// Aggregated outcome of one server lifetime.
+#[derive(Debug)]
+pub struct ServeSummary {
+    /// The pool's run statistics (from [`PoolService::shutdown`]).
+    pub run: RunStats,
+    /// Per-connection counters, in accept order.
+    pub connections: Vec<ConnStats>,
+}
+
+impl ServeSummary {
+    /// Jobs accepted across all connections.
+    pub fn accepted(&self) -> u64 {
+        self.connections.iter().map(|c| c.accepted).sum()
+    }
+}
+
+/// Coordination between [`Server`], its accept loop, and shutdown.
+struct Ctl {
+    stop: AtomicBool,
+    /// Read halves of **live** connections by accept slot (entries are
+    /// removed when the actor exits, so a long-lived server does not
+    /// accumulate dead sockets), shut down at server shutdown so blocked
+    /// actors see EOF and exit after their current request.
+    conns: Mutex<std::collections::HashMap<usize, TcpStream>>,
+    /// Connections fully served (actor exited); condvar for
+    /// [`Server::wait_connections_closed`].
+    closed: Mutex<usize>,
+    closed_cv: Condvar,
+}
+
+impl Ctl {
+    fn note_closed(&self) {
+        let mut n = self.closed.lock().unwrap_or_else(|p| p.into_inner());
+        *n += 1;
+        self.closed_cv.notify_all();
+    }
+}
+
+/// The `priosched-serve` TCP frontend: a bound listener, its accept loop,
+/// and the [`PoolService`] the connections feed.
+pub struct Server {
+    addr: SocketAddr,
+    service: Option<Arc<PoolService<u64>>>,
+    exec: Arc<CountdownExec>,
+    ctl: Arc<Ctl>,
+    accept: Option<AcceptThread>,
+    started: Instant,
+}
+
+/// The accept loop's thread. Returns the stats of connections already
+/// reaped during the loop plus the still-live actor threads, both keyed
+/// by accept slot so the final summary is in accept order.
+type AcceptThread = std::thread::JoinHandle<(
+    Vec<(usize, ConnStats)>,
+    Vec<(usize, std::thread::JoinHandle<ConnStats>)>,
+)>;
+
+impl Server {
+    /// Binds `addr` (port 0 picks an ephemeral port — see
+    /// [`Server::local_addr`]) and starts the pool workers plus the accept
+    /// loop.
+    pub fn bind<A: ToSocketAddrs>(addr: A, config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let exec = Arc::new(CountdownExec::new(config.k));
+        let mut builder = PoolBuilder::new(config.kind)
+            .places(config.places)
+            .k(config.k);
+        if let Some(cap) = config.lane_capacity {
+            builder = builder.lane_capacity(cap);
+        }
+        let service: Arc<PoolService<u64>> = Arc::new(builder.service(Arc::clone(&exec)));
+        let ctl = Arc::new(Ctl {
+            stop: AtomicBool::new(false),
+            conns: Mutex::new(std::collections::HashMap::new()),
+            closed: Mutex::new(0),
+            closed_cv: Condvar::new(),
+        });
+        let accept = {
+            let service = Arc::clone(&service);
+            let exec = Arc::clone(&exec);
+            let ctl = Arc::clone(&ctl);
+            std::thread::Builder::new()
+                .name("priosched-accept".into())
+                .spawn(move || accept_loop(listener, service, exec, ctl))
+                .expect("failed to spawn accept thread")
+        };
+        Ok(Server {
+            addr,
+            service: Some(service),
+            exec,
+            ctl,
+            accept: Some(accept),
+            started: Instant::now(),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the chosen ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Jobs executed so far across all connections.
+    pub fn executed(&self) -> u64 {
+        self.exec.executed()
+    }
+
+    /// The shared countdown executor (its count outlives the server —
+    /// useful for asserting on work completed across a drop).
+    pub fn executor(&self) -> Arc<CountdownExec> {
+        Arc::clone(&self.exec)
+    }
+
+    /// Idle-loop iterations of the pool workers — the no-busy-wait meter.
+    /// A quiescent server with idle connections must not advance this
+    /// (workers parked, actors blocked in `read`).
+    pub fn idle_iters(&self) -> u64 {
+        self.service
+            .as_ref()
+            .expect("service present until shutdown")
+            .idle_iters()
+    }
+
+    /// Blocks until at least `n` connections have been fully served
+    /// (accepted *and* disconnected). Condvar-based — no polling.
+    pub fn wait_connections_closed(&self, n: usize) {
+        let mut closed = self.ctl.closed.lock().unwrap_or_else(|p| p.into_inner());
+        while *closed < n {
+            closed = self
+                .ctl
+                .closed_cv
+                .wait(closed)
+                .unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Graceful shutdown: close the listener, let every live connection
+    /// finish its current request, join the actors, then drain the pool
+    /// to quiescence ([`PoolService::shutdown`] — in-flight accepted work
+    /// always completes). Returns the aggregated summary.
+    pub fn shutdown(mut self) -> ServeSummary {
+        self.shutdown_impl()
+            .expect("shutdown_impl runs once before drop")
+    }
+
+    fn shutdown_impl(&mut self) -> Option<ServeSummary> {
+        let service = self.service.take()?;
+        self.ctl.stop.store(true, Ordering::Release);
+        // Poke the blocking accept() awake; it observes `stop` and exits.
+        let _ = TcpStream::connect(self.addr);
+        // Join the accept loop *before* closing connections: once it has
+        // exited, the connection registry can no longer grow, so the close
+        // sweep below cannot miss a just-accepted socket.
+        let (mut reaped, live) = self
+            .accept
+            .take()
+            .expect("accept thread present until shutdown")
+            .join()
+            .expect("accept thread must not panic");
+        // Unblock actors waiting in read(): EOF ends their request loop
+        // after the current request — accepted work is never cut short.
+        for conn in self
+            .ctl
+            .conns
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .values()
+        {
+            let _ = conn.shutdown(Shutdown::Read);
+        }
+        for (slot, actor) in live {
+            reaped.push((slot, actor.join().expect("connection actor must not panic")));
+        }
+        reaped.sort_by_key(|&(slot, _)| slot);
+        let connections = reaped.into_iter().map(|(_, stats)| stats).collect();
+        // Every actor has exited and dropped its producer handle; the only
+        // remaining Arc is ours, and PoolService::shutdown drains to
+        // quiescence instead of aborting.
+        let service = Arc::try_unwrap(service)
+            .unwrap_or_else(|_| panic!("connection actors must not outlive the accept loop"));
+        let mut run = service.shutdown();
+        run.elapsed = self.started.elapsed();
+        Some(ServeSummary { run, connections })
+    }
+}
+
+impl Drop for Server {
+    /// Dropping a server is the same graceful path as
+    /// [`Server::shutdown`]: never an abortive [`PoolService`] drop, so
+    /// accepted client work is never discarded.
+    fn drop(&mut self) {
+        let _ = self.shutdown_impl();
+    }
+}
+
+/// Accepts connections until told to stop; one actor thread per socket.
+///
+/// Finished actors are reaped opportunistically on every accept (their
+/// join is instantaneous), so a long-lived server's footprint is bounded
+/// by its *concurrent* connections, not by every connection ever served;
+/// still-live actors are returned for [`Server::shutdown`] to join after
+/// closing their sockets (the accept loop itself never blocks on them).
+#[allow(clippy::type_complexity)]
+fn accept_loop(
+    listener: TcpListener,
+    service: Arc<PoolService<u64>>,
+    exec: Arc<CountdownExec>,
+    ctl: Arc<Ctl>,
+) -> (
+    Vec<(usize, ConnStats)>,
+    Vec<(usize, std::thread::JoinHandle<ConnStats>)>,
+) {
+    let mut live: Vec<(usize, std::thread::JoinHandle<ConnStats>)> = Vec::new();
+    let mut reaped: Vec<(usize, ConnStats)> = Vec::new();
+    let mut next_slot = 0usize;
+    for stream in listener.incoming() {
+        // Reap exited actors: thread stacks are released at join time,
+        // not at thread exit.
+        let mut i = 0;
+        while i < live.len() {
+            if live[i].1.is_finished() {
+                let (slot, actor) = live.swap_remove(i);
+                reaped.push((slot, actor.join().expect("connection actor must not panic")));
+            } else {
+                i += 1;
+            }
+        }
+        if ctl.stop.load(Ordering::Acquire) {
+            break; // the shutdown poke (or a raced real client) ends us
+        }
+        let Ok(stream) = stream else { continue };
+        // Request/reply line protocol: Nagle's algorithm would add a
+        // delayed-ACK round trip to every one-line reply.
+        let _ = stream.set_nodelay(true);
+        let slot = next_slot;
+        next_slot += 1;
+        if let Ok(clone) = stream.try_clone() {
+            ctl.conns
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .insert(slot, clone);
+        }
+        // The connection's producer identity: one async handle per accept,
+        // dropped when the actor exits (its "no more input" signal).
+        let handle = service.async_ingest_handle();
+        let svc = Arc::clone(&service);
+        let exec = Arc::clone(&exec);
+        let ctl2 = Arc::clone(&ctl);
+        live.push((
+            slot,
+            std::thread::Builder::new()
+                .name("priosched-conn".into())
+                .spawn(move || {
+                    let stats =
+                        futures_executor::block_on(connection_actor(stream, handle, svc, exec));
+                    // Release the registry entry (long-lived servers must
+                    // not accumulate dead sockets), then announce.
+                    ctl2.conns
+                        .lock()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .remove(&slot);
+                    ctl2.note_closed();
+                    stats
+                })
+                .expect("failed to spawn connection actor thread"),
+        ));
+    }
+    (reaped, live)
+}
+
+/// One connection's actor: parse a request, drive it through the async
+/// ingestion handle, reply, repeat until EOF/`QUIT`. Runs under
+/// `futures_executor::block_on` on its own thread; a `Pending` submit
+/// future parks the thread (and stops socket reads — wire backpressure).
+async fn connection_actor(
+    stream: TcpStream,
+    mut handle: AsyncIngestHandle<u64>,
+    service: Arc<PoolService<u64>>,
+    exec: Arc<CountdownExec>,
+) -> ConnStats {
+    /// Longest accepted request line. The no-unbounded-buffering promise
+    /// must hold against a single newline-less flood too: past this, the
+    /// connection is answered with `ERR` and closed (no way to resync).
+    const MAX_LINE_BYTES: u64 = 64 * 1024;
+    let mut stats = ConnStats::default();
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return stats,
+    };
+    let mut reader = std::io::Read::take(BufReader::new(stream), MAX_LINE_BYTES);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        reader.set_limit(MAX_LINE_BYTES);
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break, // EOF or connection reset
+            Ok(_) => {}
+        }
+        if !line.ends_with('\n') && reader.limit() == 0 {
+            stats.errors += 1;
+            let _ = writeln!(writer, "ERR request line exceeds {MAX_LINE_BYTES} bytes");
+            break;
+        }
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            continue;
+        }
+        let reply = match parse_request(trimmed) {
+            Err(reason) => {
+                stats.errors += 1;
+                format!("ERR {reason}")
+            }
+            Ok(Request::Submit { prio, k, value }) => match handle.submit(prio, k, value).await {
+                Ok(()) => {
+                    stats.accepted += 1;
+                    "OK".to_string()
+                }
+                Err(e) => {
+                    stats.errors += 1;
+                    submit_error_reply(e.kind())
+                }
+            },
+            Ok(Request::Batch { k, mut jobs }) => {
+                let n = jobs.len() as u64;
+                match handle.submit_batch(k, &mut jobs).await {
+                    Ok(()) => {
+                        stats.accepted += n;
+                        stats.batch_items += n;
+                        format!("OK {n}")
+                    }
+                    Err(e) => {
+                        // Partial acceptance: whatever is no longer in
+                        // `jobs` made it into the lanes before the abort.
+                        let taken = n - jobs.len() as u64;
+                        stats.accepted += taken;
+                        stats.batch_items += taken;
+                        stats.errors += 1;
+                        submit_error_reply(e)
+                    }
+                }
+            }
+            Ok(Request::Join) => {
+                stats.joins += 1;
+                if service.join_async().await {
+                    format!("DONE {}", exec.executed())
+                } else {
+                    stats.errors += 1;
+                    "ERR aborted".to_string()
+                }
+            }
+            Ok(Request::Stats) => format!(
+                "STATS accepted={} batch_items={} joins={} errors={}",
+                stats.accepted, stats.batch_items, stats.joins, stats.errors
+            ),
+            Ok(Request::Ping) => "PONG".to_string(),
+            Ok(Request::Quit) => {
+                let _ = writeln!(writer, "BYE");
+                break;
+            }
+        };
+        if writeln!(writer, "{reply}").is_err() {
+            break; // client gone; stop serving
+        }
+    }
+    stats
+}
+
+/// Maps a payload-free [`priosched_core::SubmitError`] to its `ERR` line.
+fn submit_error_reply(e: priosched_core::SubmitError) -> String {
+    match e {
+        priosched_core::SubmitError::Full(()) => "ERR full".to_string(),
+        priosched_core::SubmitError::Aborted(()) => "ERR aborted".to_string(),
+        priosched_core::SubmitError::ShutDown(()) => "ERR shutdown".to_string(),
+    }
+}
+
+/// Load-generator parameters for [`run_load`].
+#[derive(Clone, Copy, Debug)]
+pub struct LoadSpec {
+    /// Concurrent client connections.
+    pub conns: usize,
+    /// Submissions per connection.
+    pub per_conn: usize,
+    /// Relaxation bound sent with every job.
+    pub k: usize,
+    /// Jobs per `BATCH` request (`0` = scalar `SUBMIT`s).
+    pub batch: usize,
+}
+
+/// Outcome of one [`run_load`] drive, verified against the countdown
+/// oracle.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadReport {
+    /// Jobs the clients submitted (all accepted).
+    pub submitted: u64,
+    /// Executions the countdown oracle predicts for them.
+    pub expected_executions: u64,
+    /// Executions the server reported at `DONE`.
+    pub executed: u64,
+    /// Wall-clock time from first connect to `DONE`.
+    pub elapsed: Duration,
+}
+
+impl LoadReport {
+    /// `true` when the server's execution count matches the oracle.
+    pub fn verified(&self) -> bool {
+        self.executed == self.expected_executions
+    }
+}
+
+/// Deterministic job value for connection `conn`, submission `i` —
+/// clients and tests share the oracle through this function.
+pub fn load_value(conn: usize, i: usize) -> u64 {
+    ((conn as u64 + 1) * 7 + i as u64 * 13) % 23
+}
+
+/// Drives `spec.conns` client connections against a server at `addr`,
+/// each submitting `spec.per_conn` deterministic countdown jobs, then
+/// `JOIN`s and checks the reported execution count against the oracle.
+/// Expects a *fresh* server (the oracle counts from zero).
+///
+/// # Errors
+/// I/O errors connecting or talking to the server, or a protocol reply
+/// that is not the expected `OK`/`DONE` shape.
+pub fn run_load(addr: SocketAddr, spec: &LoadSpec) -> std::io::Result<LoadReport> {
+    use std::io::{Error, ErrorKind};
+    let start = Instant::now();
+    let mut expected = 0u64;
+    let mut submitted = 0u64;
+    for conn in 0..spec.conns {
+        for i in 0..spec.per_conn {
+            expected += CountdownExec::expected_executions(load_value(conn, i));
+            submitted += 1;
+        }
+    }
+    let workers: Vec<_> = (0..spec.conns)
+        .map(|conn| {
+            let spec = *spec;
+            std::thread::spawn(move || -> std::io::Result<()> {
+                let stream = TcpStream::connect(addr)?;
+                let _ = stream.set_nodelay(true);
+                let mut writer = stream.try_clone()?;
+                let mut reader = BufReader::new(stream);
+                let mut reply = String::new();
+                let mut expect_reply =
+                    |reader: &mut BufReader<TcpStream>, prefix: &str| -> std::io::Result<()> {
+                        reply.clear();
+                        reader.read_line(&mut reply)?;
+                        if reply.trim_end().starts_with(prefix) {
+                            Ok(())
+                        } else {
+                            Err(Error::new(
+                                ErrorKind::InvalidData,
+                                format!("expected {prefix}, got {reply:?}"),
+                            ))
+                        }
+                    };
+                if spec.batch == 0 {
+                    for i in 0..spec.per_conn {
+                        let v = load_value(conn, i);
+                        writeln!(writer, "SUBMIT {v} {} {v}", spec.k)?;
+                        expect_reply(&mut reader, "OK")?;
+                    }
+                } else {
+                    let mut i = 0;
+                    while i < spec.per_conn {
+                        let n = spec.batch.min(spec.per_conn - i);
+                        let pairs: Vec<String> = (i..i + n)
+                            .map(|j| {
+                                let v = load_value(conn, j);
+                                format!("{v}:{v}")
+                            })
+                            .collect();
+                        writeln!(writer, "BATCH {} {}", spec.k, pairs.join(" "))?;
+                        expect_reply(&mut reader, "OK")?;
+                        i += n;
+                    }
+                }
+                writeln!(writer, "QUIT")?;
+                expect_reply(&mut reader, "BYE")
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("load client thread must not panic")?;
+    }
+    // All submissions accepted; one control connection awaits the drain.
+    let stream = TcpStream::connect(addr)?;
+    let _ = stream.set_nodelay(true);
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    writeln!(writer, "JOIN")?;
+    let mut reply = String::new();
+    reader.read_line(&mut reply)?;
+    let executed = reply
+        .trim_end()
+        .strip_prefix("DONE ")
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| {
+            Error::new(
+                ErrorKind::InvalidData,
+                format!("expected DONE <n>, got {reply:?}"),
+            )
+        })?;
+    writeln!(writer, "QUIT")?;
+    Ok(LoadReport {
+        submitted,
+        expected_executions: expected,
+        executed,
+        elapsed: start.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_the_protocol() {
+        assert_eq!(
+            parse_request("SUBMIT 3 64 9"),
+            Ok(Request::Submit {
+                prio: 3,
+                k: 64,
+                value: 9
+            })
+        );
+        assert_eq!(
+            parse_request("BATCH 8 1:2 3:4"),
+            Ok(Request::Batch {
+                k: 8,
+                jobs: vec![(1, 2), (3, 4)]
+            })
+        );
+        assert_eq!(parse_request("JOIN"), Ok(Request::Join));
+        assert_eq!(parse_request("STATS"), Ok(Request::Stats));
+        assert_eq!(parse_request("PING"), Ok(Request::Ping));
+        assert_eq!(parse_request("QUIT"), Ok(Request::Quit));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        for bad in [
+            "",
+            "NOPE",
+            "SUBMIT",
+            "SUBMIT 1",
+            "SUBMIT 1 2",
+            "SUBMIT 1 2 x",
+            "SUBMIT 1 2 3 4",
+            "BATCH",
+            "BATCH 8",
+            "BATCH 8 1-2",
+            "BATCH 8 a:2",
+            "BATCH 8 1:b",
+        ] {
+            assert!(parse_request(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn countdown_oracle_counts_chain_lengths() {
+        assert_eq!(CountdownExec::expected_executions(0), 1);
+        assert_eq!(CountdownExec::expected_executions(5), 6);
+    }
+
+    #[test]
+    fn load_values_are_deterministic_and_bounded() {
+        assert_eq!(load_value(0, 0), load_value(0, 0));
+        for conn in 0..4 {
+            for i in 0..50 {
+                assert!(load_value(conn, i) < 23);
+            }
+        }
+    }
+}

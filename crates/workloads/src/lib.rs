@@ -17,7 +17,10 @@
 //! * [`KnapsackWorkload`] — best-first branch-and-bound, where pruned
 //!   subtrees are exactly the paper's dead tasks (§5.1);
 //! * [`MoSsspWorkload`] — bi-objective label-correcting shortest paths,
-//!   the conclusion's multi-objective future-work direction.
+//!   the conclusion's multi-objective future-work direction;
+//! * [`MstWorkload`] — minimum spanning tree à la the Multi-Queues
+//!   evaluation: order-insensitive component merging (cut property), so
+//!   the unique-MSF oracle check stays exact under ρ-relaxed pops.
 //!
 //! # The `Workload` contract
 //!
@@ -48,12 +51,14 @@ pub mod bfs;
 pub mod cholesky;
 pub mod knapsack;
 pub mod mo_sssp;
+pub mod mst;
 pub mod sssp;
 
 pub use bfs::BfsWorkload;
 pub use cholesky::CholeskyWorkload;
 pub use knapsack::KnapsackWorkload;
 pub use mo_sssp::MoSsspWorkload;
+pub use mst::MstWorkload;
 pub use sssp::SsspWorkload;
 
 use priosched_core::stats::PlaceStats;

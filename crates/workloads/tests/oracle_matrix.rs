@@ -10,7 +10,8 @@
 
 use priosched_core::{PoolKind, PoolParams};
 use priosched_workloads::{
-    BfsWorkload, CholeskyWorkload, DynWorkload, KnapsackWorkload, MoSsspWorkload, SsspWorkload,
+    BfsWorkload, CholeskyWorkload, DynWorkload, KnapsackWorkload, MoSsspWorkload, MstWorkload,
+    SsspWorkload,
 };
 
 fn matrix(workload: &dyn DynWorkload, params: PoolParams) {
@@ -59,6 +60,12 @@ fn bfs_matches_sequential_bfs_across_matrix() {
     matrix(&w, PoolParams::with_k(32));
 }
 
+#[test]
+fn mst_matches_kruskal_across_matrix() {
+    let w = MstWorkload::random(150, 0.05, 23);
+    matrix(&w, PoolParams::with_k(32));
+}
+
 /// The streamed acceptance matrix: every workload, driven through
 /// `run_workload_streamed` with 4 producer threads feeding sharded
 /// ingestion lanes at 4 places, must match its sequential oracle on all
@@ -75,6 +82,8 @@ fn streamed_ingestion_matches_oracles_across_matrix() {
         Box::new(CholeskyWorkload::random(4, 8, 0xFEED_FACE)),
         Box::new(KnapsackWorkload::random(24, 2_200, 0x1234_5678_9ABC_DEF0)),
         Box::new(MoSsspWorkload::random(40, 0.1, 99)),
+        // Wide seed stream too: one component-advance task per vertex.
+        Box::new(MstWorkload::random(120, 0.06, 23)),
     ];
     let (places, producers, chunk) = (4usize, 4usize, 8usize);
     for workload in &workloads {
@@ -104,6 +113,7 @@ fn streamed_ingestion_with_lane_capacity_matches_oracles_across_matrix() {
         Box::new(CholeskyWorkload::random(4, 8, 0xFEED_FACE)),
         Box::new(KnapsackWorkload::random(24, 2_200, 0x1234_5678_9ABC_DEF0)),
         Box::new(MoSsspWorkload::random(40, 0.1, 99)),
+        Box::new(MstWorkload::random(120, 0.06, 23)),
     ];
     let (places, producers, chunk) = (4usize, 4usize, 8usize);
     let params = PoolParams::with_k(32).with_lane_capacity(Some(4));

@@ -17,9 +17,15 @@
 //! * [`sssp`] — the parallel SSSP application;
 //! * [`sim`] — phase simulator + Theorem 5 bounds;
 //! * [`workloads`] — first-class benchmark workloads (SSSP, BFS, tile
-//!   Cholesky, branch-and-bound knapsack, bi-objective SSSP), each verified
-//!   against a sequential oracle and sweepable by the `schedbench` harness,
-//!   preseeded or through sharded ingestion (`run_workload_streamed`).
+//!   Cholesky, branch-and-bound knapsack, bi-objective SSSP, MST), each
+//!   verified against a sequential oracle and sweepable by the `schedbench`
+//!   harness, preseeded or through sharded ingestion
+//!   (`run_workload_streamed`).
+//!
+//! The `priosched-net` crate (not re-exported here — it is a frontend, not
+//! a library layer) serves the pool over TCP: `priosched-serve` accepts
+//! line-protocol submissions through per-connection async ingest handles
+//! with wire-level backpressure; see `core::async_ingest`.
 //!
 //! ## Quick start
 //!
