@@ -36,6 +36,14 @@
 //!   oracle, and emits `schedbench_net` records. Mutually exclusive with
 //!   `--ingest` and `--workloads` (the net workload is the wire
 //!   protocol's countdown job).
+//! * `--chaos seed=N` switches to the deterministic chaos sweep (see
+//!   `priosched_bench::chaos`): seeded task panics under both fault
+//!   policies, mid-run producer aborts, garbage/oversized protocol
+//!   lines, stalled and killed sockets — across every requested kind ×
+//!   places cell, each run **twice** to prove the failure counters are
+//!   identical on a same-seed repeat. Emits `schedbench_chaos` records
+//!   carrying the failure-mode counters. Contradicts `--net` and
+//!   `--ingest` (usage error).
 //! * Malformed flags are **usage errors**: the sweep prints a diagnostic
 //!   to stderr and exits with code 2 instead of panicking.
 //! * Any oracle mismatch aborts with a nonzero exit code.
@@ -54,7 +62,7 @@ const WORKLOADS: [&str; 6] = ["sssp", "bfs", "cholesky", "knapsack", "mo_sssp", 
 const USAGE: &str = "usage: schedbench [--smoke] [--workloads LIST] [--kinds LIST] \
      [--places LIST] [--k LIST] [--chunks LIST] [--ingest PxC,…] \
      [--lane-cap N,… (0 = unbounded; requires --ingest or --net)] \
-     [--net CxS,…] [--reps N] [--out FILE]";
+     [--net CxS,…] [--chaos seed=N] [--reps N] [--out FILE]";
 
 /// One `--ingest` cell: producer-thread count × submission-chunk size.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -96,6 +104,8 @@ struct Args {
     ingest: Vec<IngestCell>,
     /// `--net` cells: client connections × submissions per connection.
     net: Vec<IngestCell>,
+    /// `--chaos seed=N`: run the deterministic chaos sweep with this seed.
+    chaos: Option<u64>,
     /// Lane-capacity axis for streamed cells; `None` = unbounded (the `0`
     /// spelling on the command line).
     lane_caps: Vec<Option<usize>>,
@@ -131,6 +141,7 @@ impl Args {
             chunks: vec![0],
             ingest: Vec::new(),
             net: Vec::new(),
+            chaos: None,
             lane_caps: vec![None],
             reps: 3,
             out: None,
@@ -168,6 +179,15 @@ impl Args {
                 "--chunks" => cfg.chunks = parse_list("--chunks", take("--chunks")?)?,
                 "--ingest" => cfg.ingest = parse_list("--ingest", take("--ingest")?)?,
                 "--net" => cfg.net = parse_list("--net", take("--net")?)?,
+                "--chaos" => {
+                    let raw = take("--chaos")?.as_str();
+                    let digits = raw.strip_prefix("seed=").unwrap_or(raw);
+                    cfg.chaos = Some(
+                        digits
+                            .parse()
+                            .map_err(|e| format!("--chaos: bad seed {raw:?}: {e}"))?,
+                    );
+                }
                 "--lane-cap" => {
                     lane_caps_given = true;
                     cfg.lane_caps = parse_list::<usize>("--lane-cap", take("--lane-cap")?)?
@@ -208,6 +228,13 @@ impl Args {
         }
         if !cfg.net.is_empty() && !cfg.ingest.is_empty() {
             return Err("--net and --ingest are separate sweeps; pass one".into());
+        }
+        if cfg.chaos.is_some() && (!cfg.net.is_empty() || !cfg.ingest.is_empty()) {
+            return Err(
+                "--chaos is its own sweep (it injects its own faults and traffic) and \
+                 contradicts --net/--ingest; pass one"
+                    .into(),
+            );
         }
         Ok(Some(cfg))
     }
@@ -316,6 +343,7 @@ fn run_net_sweep(args: &Args) -> (Vec<String>, usize) {
                                     places,
                                     k,
                                     lane_capacity: cap,
+                                    ..ServerConfig::default()
                                 },
                             )
                             .expect("bind loopback server");
@@ -382,6 +410,92 @@ fn run_net_sweep(args: &Args) -> (Vec<String>, usize) {
     (records, failures)
 }
 
+/// Runs the `--chaos` sweep: every kind × places cell through the
+/// deterministic chaos harness, twice each (the harness asserts the
+/// same-seed repeat reproduces identical failure counters). Returns the
+/// `schedbench_chaos` records, counters embedded.
+fn run_chaos_sweep(args: &Args, seed: u64) -> Vec<String> {
+    use priosched_bench::chaos::chaos_sweep;
+    // The harness injects panics on purpose; keep the default hook from
+    // spamming a backtrace per bomb while leaving every other panic
+    // (i.e. a real invariant violation) loud.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(|s| s.as_str())
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .unwrap_or("");
+        if !msg.starts_with("chaos bomb") {
+            default_hook(info);
+        }
+    }));
+    println!(
+        "{:<14} {:>2} | {:>6} {:>7} {:>5} {:>6} {:>5} {:>4} {:>5} {:>4} {:>6} {:>8}",
+        "structure",
+        "P",
+        "chains",
+        "done",
+        "quar",
+        "aborts",
+        "pkill",
+        "garb",
+        "flood",
+        "stall",
+        "sock✝",
+        "net done"
+    );
+    let reports = chaos_sweep(seed, &args.kinds, &args.places, args.smoke);
+    let _ = std::panic::take_hook();
+    let mut records = Vec::new();
+    for r in &reports {
+        let c = &r.counters;
+        println!(
+            "{:<14} {:>2} | {:>6} {:>7} {:>5} {:>6} {:>5} {:>4} {:>5} {:>4} {:>6} {:>8}",
+            r.kind.label(),
+            r.places,
+            c.submitted,
+            c.completed,
+            c.quarantined,
+            c.aborted_runs,
+            c.producer_aborts,
+            c.garbage_rejected,
+            c.oversized_closed,
+            c.deadline_reaped,
+            c.killed_sockets,
+            c.net_executed,
+        );
+        let e = r.elapsed.as_nanos() as f64;
+        records.push(format!(
+            "{{\"group\": \"schedbench_chaos\", \"id\": \"{}/p{}_seed{seed}\", \
+             \"mean_ns\": {e:.1}, \"min_ns\": {e:.1}, \"max_ns\": {e:.1}, \
+             \"elements\": {}, \"counters\": {{\
+             \"submitted\": {}, \"completed\": {}, \"quarantined\": {}, \
+             \"aborted_runs\": {}, \"producer_aborts\": {}, \"unsent\": {}, \
+             \"garbage_rejected\": {}, \"oversized_closed\": {}, \
+             \"deadline_reaped\": {}, \"killed_sockets\": {}, \
+             \"net_accepted\": {}, \"net_executed\": {}}}}}",
+            r.kind.id(),
+            r.places,
+            c.completed,
+            c.submitted,
+            c.completed,
+            c.quarantined,
+            c.aborted_runs,
+            c.producer_aborts,
+            c.unsent,
+            c.garbage_rejected,
+            c.oversized_closed,
+            c.deadline_reaped,
+            c.killed_sockets,
+            c.net_accepted,
+            c.net_executed,
+        ));
+    }
+    records
+}
+
 /// Writes the collected records as a JSON array to `--out`, if given.
 fn write_records(out: Option<&std::path::Path>, records: &[String]) {
     if let Some(path) = out {
@@ -413,6 +527,22 @@ fn main() {
     let cores = std::thread::available_parallelism()
         .map(|c| c.get())
         .unwrap_or(1);
+    if let Some(seed) = args.chaos {
+        println!(
+            "schedbench --chaos: seed {seed}, {} kind(s) × places {:?}, every cell twice \
+             (same-seed repeat must match)",
+            args.kinds.len(),
+            args.places,
+        );
+        println!("host: {cores} hardware thread(s)\n");
+        let records = run_chaos_sweep(&args, seed);
+        write_records(args.out.as_deref(), &records);
+        println!(
+            "\nall {} chaos cells held their invariants (seed {seed}, deterministic repeat verified)",
+            records.len()
+        );
+        return;
+    }
     if !args.net.is_empty() {
         println!(
             "schedbench --net: {} kind(s) × places {:?} × k {:?} × lane-cap {:?} × cells {:?}, {} rep(s)",
@@ -664,6 +794,25 @@ mod tests {
         // Malformed cells are usage errors.
         assert!(Args::parse(&argv(&["--net", "0x8"])).is_err());
         assert!(Args::parse(&argv(&["--net", "4y8"])).is_err());
+    }
+
+    #[test]
+    fn chaos_axis_parses_and_guards() {
+        let args = Args::parse(&argv(&["--chaos", "seed=7"])).unwrap().unwrap();
+        assert_eq!(args.chaos, Some(7));
+        // The bare-number spelling is accepted too.
+        let args = Args::parse(&argv(&["--chaos", "42"])).unwrap().unwrap();
+        assert_eq!(args.chaos, Some(42));
+        // A chaos spec contradicting --net/--ingest is a usage error
+        // (exit 2 in main), not a silently-merged sweep.
+        let err = Args::parse(&argv(&["--chaos", "seed=7", "--net", "2x8"])).unwrap_err();
+        assert!(err.contains("--chaos"), "{err}");
+        let err = Args::parse(&argv(&["--chaos", "seed=7", "--ingest", "2x8"])).unwrap_err();
+        assert!(err.contains("--chaos"), "{err}");
+        // Malformed seeds are usage errors.
+        assert!(Args::parse(&argv(&["--chaos", "seed=x"])).is_err());
+        assert!(Args::parse(&argv(&["--chaos", "seven"])).is_err());
+        assert!(Args::parse(&argv(&["--chaos"])).is_err());
     }
 
     #[test]

@@ -25,6 +25,8 @@ use priosched_graph::{erdos_renyi, CsrGraph, ErdosRenyiConfig};
 use std::io::Write;
 use std::path::PathBuf;
 
+pub mod chaos;
+
 /// Seed base for the replicated graphs: graph `i` uses `GRAPH_SEED_BASE+i`,
 /// identical across every figure so all experiments see the same graphs
 /// (§5.4.1: "exactly the same 20 random graphs").

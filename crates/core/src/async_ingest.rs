@@ -40,6 +40,7 @@
 
 use crate::ingest::{IngestHandle, IngressShared, SubmitError};
 use crate::park::{ParkSlot, Parked, Waiter, WakerId};
+use crate::scheduler::{FailureReport, FaultCell, PoolAborted};
 use std::future::Future;
 use std::pin::Pin;
 use std::sync::Arc;
@@ -290,17 +291,19 @@ impl<T: Send> Drop for SubmitBatchFuture<'_, T> {
 /// Future over a drain, for services: see
 /// [`crate::service::PoolService::join_async`], which constructs it.
 ///
-/// Resolves to `true` once everything submitted so far has executed
-/// (lanes empty, pending counter zero), or `false` if the pool aborted on
-/// a task panic — the same contract as the blocking
+/// Resolves to `Ok(())` once everything submitted so far has executed
+/// (lanes empty, pending counter zero), or `Err(PoolAborted)` if the pool
+/// aborted on a task panic — the same contract as the blocking
 /// [`crate::service::PoolService::join`], with the control-slot park
 /// replaced by a waker deposit.
 pub struct JoinFuture<'a, T: Send> {
     shared: &'a IngressShared<T>,
     /// The scheduler's outstanding-task counter.
     pending: &'a std::sync::atomic::AtomicU64,
-    /// The pool's abort flag (a task panicked).
+    /// The pool's abort flag (a task panicked under `AbortRun`).
     abort: &'a std::sync::atomic::AtomicBool,
+    /// The service's failure state (source of the typed abort outcome).
+    faults: &'a FaultCell,
     reg: Option<SlotReg>,
 }
 
@@ -309,11 +312,13 @@ impl<'a, T: Send> JoinFuture<'a, T> {
         shared: &'a IngressShared<T>,
         pending: &'a std::sync::atomic::AtomicU64,
         abort: &'a std::sync::atomic::AtomicBool,
+        faults: &'a FaultCell,
     ) -> Self {
         JoinFuture {
             shared,
             pending,
             abort,
+            faults,
             reg: None,
         }
     }
@@ -326,12 +331,25 @@ impl<'a, T: Send> JoinFuture<'a, T> {
     fn aborted(&self) -> bool {
         self.abort.load(std::sync::atomic::Ordering::Acquire)
     }
+
+    /// The typed abort outcome; the failure record precedes the abort
+    /// flag, so an observed abort implies a visible report (the fallback
+    /// covers abortive teardown without a panicking task).
+    fn abort_error(&self) -> PoolAborted {
+        PoolAborted {
+            failure: self.faults.first_failure().unwrap_or(FailureReport {
+                place: 0,
+                prio: 0,
+                message: "pool aborted".to_string(),
+            }),
+        }
+    }
 }
 
 impl<T: Send> Unpin for JoinFuture<'_, T> {}
 
 impl<T: Send> Future for JoinFuture<'_, T> {
-    type Output = bool;
+    type Output = Result<(), PoolAborted>;
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
         let this = self.get_mut();
@@ -339,12 +357,16 @@ impl<T: Send> Future for JoinFuture<'_, T> {
         SlotReg::clear(&mut this.reg, control);
         loop {
             if this.aborted() {
-                return Poll::Ready(false);
+                return Poll::Ready(Err(this.abort_error()));
             }
             if this.drained() {
                 // Post-drain abort re-check, as in the blocking join: a
-                // panicking task raises the flag before its decrement.
-                return Poll::Ready(!this.aborted());
+                // panicking task records its failure and raises the flag
+                // before its decrement.
+                if this.aborted() {
+                    return Poll::Ready(Err(this.abort_error()));
+                }
+                return Poll::Ready(Ok(()));
             }
             let token = control.prepare();
             if this.aborted() || this.drained() {
@@ -421,7 +443,7 @@ mod tests {
         struct Sink;
         impl crate::pool::PoolHandle<u64> for Sink {
             fn push(&mut self, _p: u64, _k: usize, _t: u64) {}
-            fn pop(&mut self) -> Option<u64> {
+            fn pop_entry(&mut self) -> Option<(u64, u64)> {
                 None
             }
             fn stats(&self) -> crate::stats::PlaceStats {

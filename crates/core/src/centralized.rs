@@ -251,7 +251,7 @@ impl<T: Send + 'static> CentralizedHandle<T> {
 
     /// Random probe into `[tail, tail + kmax)` for the case where the local
     /// queue is empty (Listing 2 lines 21–30).
-    fn probe(&mut self, tail: u64) -> Option<T> {
+    fn probe(&mut self, tail: u64) -> Option<(u64, T)> {
         let offset = self.rng.below(self.shared.kmax as u64);
         let pos = tail + offset;
         let slot = self.shared.array.slot(pos, &mut self.probe_cursor)?;
@@ -269,10 +269,13 @@ impl<T: Send + 'static> CentralizedHandle<T> {
             return None;
         }
         let task = item.try_take(pos)?;
+        // Between the take and the release the item is exclusively ours,
+        // so this priority read is exact (set at init, untouched since).
+        let prio = item.prio.load(Ordering::Relaxed);
         // SAFETY: unique take winner returns the item.
         unsafe { self.cache.release(&self.shared.pool, ptr) };
         self.stats.probe_hits += 1;
-        Some(task)
+        Some((prio, task))
     }
 
     /// Places one initialized item into the k-window, maintaining the
@@ -340,7 +343,7 @@ impl<T: Send + 'static> PoolHandle<T> for CentralizedHandle<T> {
     }
 
     /// Listing 2.
-    fn pop(&mut self) -> Option<T> {
+    fn pop_entry(&mut self) -> Option<(u64, T)> {
         loop {
             let scanned_to = self.ingest();
             while let Some(r) = self.pq.pop() {
@@ -351,7 +354,7 @@ impl<T: Send + 'static> PoolHandle<T> for CentralizedHandle<T> {
                         // SAFETY: unique take winner returns the item.
                         unsafe { self.cache.release(&self.shared.pool, r.ptr) };
                         self.stats.pops += 1;
-                        return Some(task);
+                        return Some((r.prio, task));
                     }
                 }
                 // Reference was dead (taken elsewhere / recycled): recheck
@@ -368,9 +371,9 @@ impl<T: Send + 'static> PoolHandle<T> for CentralizedHandle<T> {
             if tail != scanned_to {
                 continue;
             }
-            if let Some(task) = self.probe(tail) {
+            if let Some(entry) = self.probe(tail) {
                 self.stats.pops += 1;
-                return Some(task);
+                return Some(entry);
             }
             self.stats.failed_pops += 1;
             return None;
@@ -451,7 +454,7 @@ impl<T: Send + 'static> PoolHandle<T> for CentralizedHandle<T> {
                 continue;
             }
             if got == 0 {
-                if let Some(task) = self.probe(tail) {
+                if let Some((_prio, task)) = self.probe(tail) {
                     out.push(task);
                     got = 1;
                 }

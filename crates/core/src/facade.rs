@@ -106,12 +106,12 @@ impl<T: Send + 'static> PoolHandle<T> for AnyHandle<T> {
         }
     }
 
-    fn pop(&mut self) -> Option<T> {
+    fn pop_entry(&mut self) -> Option<(u64, T)> {
         match self {
-            AnyHandle::WorkStealing(h) => h.pop(),
-            AnyHandle::Centralized(h) => h.pop(),
-            AnyHandle::Hybrid(h) => h.pop(),
-            AnyHandle::Structural(h) => h.pop(),
+            AnyHandle::WorkStealing(h) => h.pop_entry(),
+            AnyHandle::Centralized(h) => h.pop_entry(),
+            AnyHandle::Hybrid(h) => h.pop_entry(),
+            AnyHandle::Structural(h) => h.pop_entry(),
         }
     }
 
@@ -184,18 +184,22 @@ where
     T: Send + 'static,
     E: TaskExecutor<T>,
 {
+    let policy = params.fault_policy;
     match kind {
-        PoolKind::WorkStealing => {
-            Scheduler::from_pool(PriorityWorkStealing::new(places)).run(executor, roots)
-        }
+        PoolKind::WorkStealing => Scheduler::from_pool(PriorityWorkStealing::new(places))
+            .with_fault_policy(policy)
+            .run(executor, roots),
         PoolKind::Centralized => {
             Scheduler::from_pool(CentralizedKPriority::new(places, params.kmax))
+                .with_fault_policy(policy)
                 .run(executor, roots)
         }
-        PoolKind::Hybrid => Scheduler::from_pool(HybridKPriority::new(places)).run(executor, roots),
-        PoolKind::Structural => {
-            Scheduler::from_pool(StructuralKPriority::new(places, params.k)).run(executor, roots)
-        }
+        PoolKind::Hybrid => Scheduler::from_pool(HybridKPriority::new(places))
+            .with_fault_policy(policy)
+            .run(executor, roots),
+        PoolKind::Structural => Scheduler::from_pool(StructuralKPriority::new(places, params.k))
+            .with_fault_policy(policy)
+            .run(executor, roots),
     }
 }
 
@@ -218,17 +222,21 @@ where
     T: Send + 'static,
     E: TaskExecutor<T>,
 {
+    let policy = params.fault_policy;
     match kind {
         PoolKind::WorkStealing => Scheduler::from_pool(PriorityWorkStealing::new(places))
+            .with_fault_policy(policy)
             .run_stream(executor, roots, ingress),
         PoolKind::Centralized => {
             Scheduler::from_pool(CentralizedKPriority::new(places, params.kmax))
+                .with_fault_policy(policy)
                 .run_stream(executor, roots, ingress)
         }
-        PoolKind::Hybrid => {
-            Scheduler::from_pool(HybridKPriority::new(places)).run_stream(executor, roots, ingress)
-        }
+        PoolKind::Hybrid => Scheduler::from_pool(HybridKPriority::new(places))
+            .with_fault_policy(policy)
+            .run_stream(executor, roots, ingress),
         PoolKind::Structural => Scheduler::from_pool(StructuralKPriority::new(places, params.k))
+            .with_fault_policy(policy)
             .run_stream(executor, roots, ingress),
     }
 }
@@ -297,6 +305,14 @@ impl PoolBuilder {
         self
     }
 
+    /// Selects what workers do when a task panics (see
+    /// [`crate::FaultPolicy`]): honored by [`PoolBuilder::run`],
+    /// [`PoolBuilder::run_stream`], and [`PoolBuilder::service`].
+    pub fn fault_policy(mut self, policy: crate::FaultPolicy) -> Self {
+        self.params.fault_policy = policy;
+        self
+    }
+
     /// Replaces the whole parameter set.
     pub fn params(mut self, params: PoolParams) -> Self {
         self.params = params;
@@ -355,7 +371,12 @@ impl PoolBuilder {
         T: Send + 'static,
         E: TaskExecutor<T> + Send + Sync + 'static,
     {
-        PoolService::start_with_capacity(self.build::<T>(), executor, self.params.lane_capacity)
+        PoolService::start_with_policy(
+            self.build::<T>(),
+            executor,
+            self.params.lane_capacity,
+            self.params.fault_policy,
+        )
     }
 }
 
@@ -432,7 +453,7 @@ mod tests {
         let params = |k: usize, kmax: u32| PoolParams {
             k,
             kmax,
-            lane_capacity: None,
+            ..PoolParams::default()
         };
         // An explicit kmax survives a later .k() that it still admits…
         let b = PoolBuilder::new(PoolKind::Centralized).kmax(64).k(8);

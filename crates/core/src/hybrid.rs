@@ -475,7 +475,7 @@ impl<T: Send + 'static> PoolHandle<T> for HybridHandle<T> {
     }
 
     /// Listing 4.
-    fn pop(&mut self) -> Option<T> {
+    fn pop_entry(&mut self) -> Option<(u64, T)> {
         loop {
             self.process_global_list();
             while let Some(r) = self.pq.pop() {
@@ -486,7 +486,7 @@ impl<T: Send + 'static> PoolHandle<T> for HybridHandle<T> {
                         // SAFETY: unique take winner returns the item.
                         unsafe { self.cache.release(&self.shared.pool, r.ptr) };
                         self.stats.pops += 1;
-                        return Some(task);
+                        return Some((r.prio, task));
                     }
                 }
                 self.stats.stale_refs += 1;

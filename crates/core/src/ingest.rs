@@ -655,7 +655,7 @@ mod tests {
         fn push(&mut self, prio: u64, k: usize, task: u64) {
             self.pushed.push((prio, k, task));
         }
-        fn pop(&mut self) -> Option<u64> {
+        fn pop_entry(&mut self) -> Option<(u64, u64)> {
             None
         }
         fn push_batch(&mut self, k: usize, batch: &mut Vec<(u64, u64)>) {

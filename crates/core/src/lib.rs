@@ -178,6 +178,40 @@
 //! builds the `priosched-serve` TCP frontend on exactly this surface:
 //! one connection actor per socket, each owning an async handle.
 //!
+//! # Failure handling
+//!
+//! A task's `execute` may panic; what happens next is the
+//! [`pool::FaultPolicy`] carried in [`PoolParams`] (or set via
+//! [`Scheduler::with_fault_policy`] /
+//! [`service::PoolService::start_with_policy`] /
+//! [`PoolBuilder::fault_policy`]). Under the default
+//! [`pool::FaultPolicy::AbortRun`], the worker records a
+//! [`scheduler::FailureReport`], raises the abort flag, poisons the
+//! lanes (blocked and future producers fail with
+//! [`ingest::SubmitError::Aborted`], payloads handed back), and every
+//! worker drains out; closed-world `run`/`run_stream` resume the panic on
+//! the caller, while [`service::PoolService::join`]/`join_async` return
+//! `Err(`[`scheduler::PoolAborted`]`)` and
+//! [`service::PoolService::shutdown`] returns a typed
+//! [`service::ShutdownError`] — a failure never poisons teardown. Under
+//! [`pool::FaultPolicy::Isolate`], the panicking task is **quarantined**:
+//! its place, popped priority, and panic message are captured into a
+//! [`scheduler::FailureReport`] on the run stats
+//! ([`RunStats::failed`]/[`RunStats::failures`]) and everything else —
+//! sibling workers, producers, later rounds — continues unaffected.
+//!
+//! Isolation preserves the pending-count read-order argument that
+//! quiescence termination rests on (see [`ingest`]): the failure is
+//! recorded *before* the panicking task's pending decrement, exactly
+//! where `AbortRun` raises the abort flag, and the decrement itself is
+//! the same release a successful completion performs. Any observer that
+//! sees the counter reach zero (a joiner, a terminating worker) is
+//! therefore guaranteed to see every failure recorded by tasks that
+//! finished before the drain — a quarantined panic can neither strand
+//! the counter above zero (deadlock) nor hide from the round that
+//! drained it, and `executed + dead + failed` accounts for every task
+//! exactly once.
+//!
 //! # Runtime structure selection
 //!
 //! [`PoolKind`] names the four structures; the [`facade`] module is the
@@ -229,9 +263,11 @@ pub use centralized::CentralizedKPriority;
 pub use facade::{run_on_kind, run_stream_on_kind, AnyHandle, AnyPool, PoolBuilder};
 pub use hybrid::HybridKPriority;
 pub use ingest::{IngestHandle, IngressLanes, SubmitError};
-pub use pool::{PoolHandle, PoolKind, PoolParams, TaskPool};
-pub use scheduler::{RunStats, Scheduler, SpawnCtx, TaskExecutor};
-pub use service::PoolService;
+pub use pool::{FaultPolicy, PoolHandle, PoolKind, PoolParams, TaskPool};
+pub use scheduler::{
+    panic_message, FailureReport, PoolAborted, RunStats, Scheduler, SpawnCtx, TaskExecutor,
+};
+pub use service::{PoolService, ShutdownError};
 pub use structural::StructuralKPriority;
 pub use workstealing::PriorityWorkStealing;
 

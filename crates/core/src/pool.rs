@@ -50,10 +50,19 @@ pub trait PoolHandle<T: Send>: Send {
     /// for hybrid, ignored by work-stealing).
     fn push(&mut self, prio: u64, k: usize, task: T);
 
-    /// Retrieves some task and removes it from the pool (§2.1 `pop`).
+    /// Retrieves some task together with its priority key and removes it
+    /// from the pool (§2.1 `pop`).
     ///
-    /// `None` means "nothing found right now" — possibly spuriously.
-    fn pop(&mut self) -> Option<T>;
+    /// `None` means "nothing found right now" — possibly spuriously. The
+    /// priority is the key the task was pushed with; the scheduler threads
+    /// it into failure reports so a quarantined task can be identified.
+    fn pop_entry(&mut self) -> Option<(u64, T)>;
+
+    /// Retrieves some task and removes it from the pool, discarding the
+    /// priority key. Convenience wrapper over [`PoolHandle::pop_entry`].
+    fn pop(&mut self) -> Option<T> {
+        self.pop_entry().map(|(_, task)| task)
+    }
 
     /// Stores a batch of `(prio, task)` pairs sharing one relaxation bound
     /// `k`, draining `batch`.
@@ -121,6 +130,9 @@ pub struct PoolParams {
     /// drain frees room — see `priosched_core::ingest`. Ignored by
     /// closed-world (preseeded) runs, which have no lanes.
     pub lane_capacity: Option<usize>,
+    /// What happens when a task panics — see [`FaultPolicy`]. Defaults to
+    /// [`FaultPolicy::AbortRun`], the historical behavior.
+    pub fault_policy: FaultPolicy,
 }
 
 /// The paper's default relaxation parameter (k = 512, found to be a good
@@ -136,6 +148,7 @@ impl Default for PoolParams {
             k: DEFAULT_K,
             kmax: DEFAULT_KMAX,
             lane_capacity: None,
+            fault_policy: FaultPolicy::AbortRun,
         }
     }
 }
@@ -149,6 +162,7 @@ impl PoolParams {
             k,
             kmax: (k.min(u32::MAX as usize) as u32).max(DEFAULT_KMAX),
             lane_capacity: None,
+            fault_policy: FaultPolicy::AbortRun,
         }
     }
 
@@ -158,6 +172,38 @@ impl PoolParams {
         self.lane_capacity = capacity;
         self
     }
+
+    /// The same parameters with a fault policy (see [`FaultPolicy`]).
+    pub fn with_fault_policy(mut self, policy: FaultPolicy) -> Self {
+        self.fault_policy = policy;
+        self
+    }
+}
+
+/// What a worker does when a task's `execute` panics.
+///
+/// Either way the panic never crosses a worker thread boundary
+/// uncontrolled: the worker catches it, records a
+/// `FailureReport` (place, priority, panic message), and decrements the
+/// pending count *after* recording — so the quiescence/read-order argument
+/// (see `priosched_core::ingest`) holds in the presence of failures.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum FaultPolicy {
+    /// A single panicking task aborts the whole run: the abort flag is
+    /// raised before the panicked task's pending decrement, sibling
+    /// workers stop at the next loop head, blocked and future producers
+    /// get `SubmitError::Aborted`, and the panic payload is re-surfaced —
+    /// `Scheduler::run`/`run_stream` resume the panic on the caller,
+    /// while `PoolService::join`/`shutdown` report it as a typed error.
+    #[default]
+    AbortRun,
+    /// A panicking task is quarantined: its failure is recorded on the run
+    /// stats (`RunStats::failures`), the pending count is decremented
+    /// exactly as a successful completion would, and sibling workers (and
+    /// producers) continue unaffected. The run still reaches quiescence
+    /// with exact accounting: `executed + dead + failed` covers every task
+    /// that entered the pool.
+    Isolate,
 }
 
 /// Runtime-selectable structure kind, used by the figure harness and

@@ -41,13 +41,133 @@
 //! actually be lost.
 
 use crate::ingest::{IngressLanes, IngressShared};
-use crate::pool::{PoolHandle, TaskPool};
+use crate::pool::{FaultPolicy, PoolHandle, TaskPool};
 use crate::stats::PlaceStats;
 use crossbeam_utils::Backoff;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// One quarantined (or aborting) task failure: where it ran, what priority
+/// it was popped with, and the panic message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FailureReport {
+    /// The place whose worker executed the panicking task.
+    pub place: usize,
+    /// The priority key the task was popped with.
+    pub prio: u64,
+    /// The panic message (string payloads verbatim; other payload types
+    /// are summarized).
+    pub message: String,
+}
+
+impl std::fmt::Display for FailureReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "task (prio {}) panicked at place {}: {}",
+            self.prio, self.place, self.message
+        )
+    }
+}
+
+/// Typed outcome of joining an aborted pool (`FaultPolicy::AbortRun`):
+/// the first recorded failure, in place of a resumed panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PoolAborted {
+    /// The failure that raised the abort flag.
+    pub failure: FailureReport,
+}
+
+impl std::fmt::Display for PoolAborted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pool run aborted: {}", self.failure)
+    }
+}
+
+impl std::error::Error for PoolAborted {}
+
+/// Renders a panic payload (as caught by `std::panic::catch_unwind`) into
+/// a human-readable message for a [`FailureReport`]. `&str` and `String`
+/// payloads — what `panic!` produces — are passed through; anything else
+/// becomes a placeholder.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Shared failure state of one run or service: the configured
+/// [`FaultPolicy`], the recorded [`FailureReport`]s, and — under
+/// `AbortRun` — the first panic payload for `Scheduler::run` to resume.
+///
+/// Workers record into the cell *before* decrementing the pending count
+/// (see [`SpawnCtx::run_one`]); anyone who observes the count reach zero
+/// is therefore guaranteed to see every failure of a task that finished
+/// before the drain — the same read-order argument quiescence itself
+/// rests on (see [`crate::ingest`]).
+pub(crate) struct FaultCell {
+    policy: FaultPolicy,
+    payload: parking_lot::Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    failures: parking_lot::Mutex<Vec<FailureReport>>,
+    failed: AtomicU64,
+}
+
+impl FaultCell {
+    pub(crate) fn new(policy: FaultPolicy) -> Self {
+        FaultCell {
+            policy,
+            payload: parking_lot::Mutex::new(None),
+            failures: parking_lot::Mutex::new(Vec::new()),
+            failed: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn policy(&self) -> FaultPolicy {
+        self.policy
+    }
+
+    /// Records one failure; under `AbortRun` also stashes the first panic
+    /// payload so the closed-world entry points can resume it.
+    fn record(&self, report: FailureReport, payload: Option<Box<dyn std::any::Any + Send>>) {
+        self.failures.lock().push(report);
+        // The count is published *after* the report so `failed()` never
+        // exceeds what `first_failure()`/`take_failures()` can observe.
+        self.failed.fetch_add(1, Ordering::Release);
+        if let Some(p) = payload {
+            let mut slot = self.payload.lock();
+            if slot.is_none() {
+                *slot = Some(p);
+            }
+        }
+    }
+
+    /// Number of failures recorded so far.
+    pub(crate) fn failed(&self) -> u64 {
+        self.failed.load(Ordering::Acquire)
+    }
+
+    /// Takes the stored panic payload (`AbortRun` only), if any.
+    pub(crate) fn take_payload(&self) -> Option<Box<dyn std::any::Any + Send>> {
+        self.payload.lock().take()
+    }
+
+    /// Drains the recorded failure reports.
+    pub(crate) fn take_failures(&self) -> Vec<FailureReport> {
+        std::mem::take(&mut *self.failures.lock())
+    }
+
+    /// Clones the first recorded failure (the one that raised the abort,
+    /// under `AbortRun`).
+    pub(crate) fn first_failure(&self) -> Option<FailureReport> {
+        self.failures.lock().first().cloned()
+    }
+}
 
 /// Application logic driven by the scheduler.
 ///
@@ -72,11 +192,12 @@ pub struct SpawnCtx<'a, T: Send> {
     handle: &'a mut dyn PoolHandle<T>,
     pending: &'a AtomicU64,
     executor: &'a dyn TaskExecutor<T>,
-    /// Set when any worker's task panicked: all workers drain out and the
-    /// panic is re-raised from `run` (without this, a lost decrement would
-    /// leave `pending` nonzero and deadlock the remaining workers).
+    /// Set when a task panicked under `FaultPolicy::AbortRun`: all workers
+    /// drain out and the panic is re-raised from `run` (without this, a
+    /// lost decrement would leave `pending` nonzero and deadlock the
+    /// remaining workers). Never raised under `FaultPolicy::Isolate`.
     abort: &'a AtomicBool,
-    panic_payload: &'a parking_lot::Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    faults: &'a FaultCell,
     place: usize,
     executed: u64,
     dead: u64,
@@ -166,9 +287,9 @@ impl<'a, T: Send> SpawnCtx<'a, T> {
             if self.drain_ingress() > 0 {
                 backoff.reset();
             }
-            match self.handle.pop() {
-                Some(task) => {
-                    self.run_one(task);
+            match self.handle.pop_entry() {
+                Some((prio, task)) => {
+                    self.run_one(prio, task);
                     backoff.reset();
                 }
                 None => {
@@ -192,14 +313,14 @@ impl<'a, T: Send> SpawnCtx<'a, T> {
                                 || self.drain_ingress() > 0
                             {
                                 parker.worker_cancel(self.place);
-                            } else if let Some(task) = self.handle.pop() {
+                            } else if let Some((prio, task)) = self.handle.pop_entry() {
                                 // A task spawned inside the register race
                                 // window may have skipped its wake (gated
                                 // on a not-yet-visible registration); the
                                 // post-registration pop closes that hole,
                                 // exactly as in `place_loop`.
                                 parker.worker_cancel(self.place);
-                                self.run_one(task);
+                                self.run_one(prio, task);
                                 backoff.reset();
                             } else {
                                 parker.worker_park_timeout(self.place, token, HELP_WAIT_CAP);
@@ -247,31 +368,50 @@ impl<'a, T: Send> SpawnCtx<'a, T> {
             && self.pending.load(Ordering::Acquire) == 0
     }
 
-    fn run_one(&mut self, task: T) {
+    fn run_one(&mut self, prio: u64, task: T) {
         if self.executor.is_dead(&task) {
             self.dead += 1;
             self.finish_one();
             return;
         }
         // Contain panics: decrement `pending` either way so sibling workers
-        // cannot spin forever on a count that will never drain; `run`
-        // re-raises the payload after all workers exit. The abort flag is
-        // raised *before* the decrement so that anyone who observes the
-        // count reach zero (e.g. `PoolService::join`) is guaranteed to see
-        // the abort on a subsequent read — a drain caused by a panic can
-        // never masquerade as a clean one.
+        // cannot spin forever on a count that will never drain. The failure
+        // is recorded (and, under `AbortRun`, the abort flag raised)
+        // *before* the decrement so that anyone who observes the count
+        // reach zero (e.g. `PoolService::join`) is guaranteed to see it on
+        // a subsequent read — a drain caused by a panic can never
+        // masquerade as a clean one, and an isolated failure is always
+        // visible by the time the run it belonged to quiesces.
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
             self.executor.execute(task, self);
         }));
         if let Err(payload) = result {
-            *self.panic_payload.lock() = Some(payload);
-            self.abort.store(true, Ordering::Release);
-            if let Some(ing) = self.ingress {
-                // Poison the lanes and wake everything: parked workers
-                // exit, join waiters report the abort, blocked producers
-                // fail with `SubmitError::Aborted` instead of waiting for
-                // drains that will never come.
-                ing.abort_and_wake();
+            let report = FailureReport {
+                place: self.place,
+                prio,
+                message: panic_message(&*payload),
+            };
+            match self.faults.policy() {
+                FaultPolicy::AbortRun => {
+                    self.faults.record(report, Some(payload));
+                    self.abort.store(true, Ordering::Release);
+                    if let Some(ing) = self.ingress {
+                        // Poison the lanes and wake everything: parked
+                        // workers exit, join waiters report the abort,
+                        // blocked producers fail with
+                        // `SubmitError::Aborted` instead of waiting for
+                        // drains that will never come.
+                        ing.abort_and_wake();
+                    }
+                }
+                FaultPolicy::Isolate => {
+                    // Quarantine: record and move on. Siblings, producers,
+                    // and this very worker keep running; the panicking
+                    // task's pending unit is released below exactly as a
+                    // completion would release it, so quiescence
+                    // accounting stays exact.
+                    self.faults.record(report, None);
+                }
             }
         } else {
             self.executed += 1;
@@ -302,6 +442,13 @@ pub struct RunStats {
     pub executed: u64,
     /// Tasks popped but eliminated as dead (§5.1).
     pub dead: u64,
+    /// Tasks whose `execute` panicked. Under `FaultPolicy::Isolate` the
+    /// run continues past them; under `AbortRun` at most one failure is
+    /// recorded before the run aborts.
+    pub failed: u64,
+    /// One report per failed task (place, priority, panic message), in
+    /// recording order.
+    pub failures: Vec<FailureReport>,
     /// Wall-clock time of the run (from first worker start to full drain).
     pub elapsed: Duration,
     /// Summed data-structure counters over all places.
@@ -313,18 +460,32 @@ pub struct RunStats {
 /// The scheduling system: `P` places over a shared [`TaskPool`].
 pub struct Scheduler<P> {
     pool: Arc<P>,
+    fault_policy: FaultPolicy,
 }
 
 impl<P> Scheduler<P> {
     /// Wraps an already shared task pool; the pool's place count determines
-    /// the number of worker threads.
+    /// the number of worker threads. Panics abort the run by default — see
+    /// [`Scheduler::with_fault_policy`].
     pub fn from_pool_arc(pool: Arc<P>) -> Self {
-        Scheduler { pool }
+        Scheduler {
+            pool,
+            fault_policy: FaultPolicy::AbortRun,
+        }
     }
 
     /// Creates a scheduler owning a fresh pool.
     pub fn from_pool(pool: P) -> Self {
         Self::from_pool_arc(Arc::new(pool))
+    }
+
+    /// Sets what a worker does when a task panics (see [`FaultPolicy`]).
+    /// Under `Isolate`, `run`/`run_stream` return normally with
+    /// `RunStats::failed`/`failures` populated instead of resuming the
+    /// panic.
+    pub fn with_fault_policy(mut self, policy: FaultPolicy) -> Self {
+        self.fault_policy = policy;
+        self
     }
 
     /// Access to the underlying pool (for diagnostics).
@@ -363,7 +524,7 @@ pub(crate) fn place_loop<T: Send>(
     executor: &dyn TaskExecutor<T>,
     pending: &AtomicU64,
     abort: &AtomicBool,
-    panic_payload: &parking_lot::Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    faults: &FaultCell,
     ingress: Option<&IngressShared<T>>,
     place: usize,
 ) -> (u64, u64) {
@@ -372,7 +533,7 @@ pub(crate) fn place_loop<T: Send>(
         pending,
         executor,
         abort,
-        panic_payload,
+        faults,
         place,
         executed: 0,
         dead: 0,
@@ -389,9 +550,9 @@ pub(crate) fn place_loop<T: Send>(
         if ctx.drain_ingress() > 0 {
             backoff.reset();
         }
-        match ctx.handle.pop() {
-            Some(task) => {
-                ctx.run_one(task);
+        match ctx.handle.pop_entry() {
+            Some((prio, task)) => {
+                ctx.run_one(prio, task);
                 backoff.reset();
             }
             None => {
@@ -415,10 +576,10 @@ pub(crate) fn place_loop<T: Send>(
                             backoff.reset();
                             continue;
                         }
-                        match ctx.handle.pop() {
-                            Some(task) => {
+                        match ctx.handle.pop_entry() {
+                            Some((prio, task)) => {
                                 parker.worker_cancel(place);
-                                ctx.run_one(task);
+                                ctx.run_one(prio, task);
                                 backoff.reset();
                             }
                             None => parker.worker_park(place, token),
@@ -503,8 +664,7 @@ impl<Pool> Scheduler<Pool> {
         let ingress: Option<&IngressShared<T>> = ingress.map(|l| &**l.shared());
         let pending = AtomicU64::new(roots.len() as u64);
         let abort = AtomicBool::new(false);
-        let panic_payload: parking_lot::Mutex<Option<Box<dyn std::any::Any + Send>>> =
-            parking_lot::Mutex::new(None);
+        let faults = FaultCell::new(self.fault_policy);
         let start = Instant::now();
         let mut per_place: Vec<(u64, u64, PlaceStats)> = Vec::with_capacity(nplaces);
 
@@ -515,7 +675,7 @@ impl<Pool> Scheduler<Pool> {
                 let pool = Arc::clone(&self.pool);
                 let pending = &pending;
                 let abort = &abort;
-                let panic_payload = &panic_payload;
+                let faults = &faults;
                 let seed = if place == 0 { roots.take() } else { None };
                 joins.push(s.spawn(move || {
                     let mut handle = pool.handle(place);
@@ -529,7 +689,7 @@ impl<Pool> Scheduler<Pool> {
                         executor,
                         pending,
                         abort,
-                        panic_payload,
+                        faults,
                         ingress,
                         place,
                     );
@@ -541,12 +701,17 @@ impl<Pool> Scheduler<Pool> {
             }
         });
 
-        if let Some(payload) = panic_payload.lock().take() {
+        // AbortRun keeps the historical contract: the closed-world entry
+        // points re-raise the panic on the caller. Isolate returns
+        // normally with the failures on the stats.
+        if let Some(payload) = faults.take_payload() {
             std::panic::resume_unwind(payload);
         }
         let elapsed = start.elapsed();
         let mut stats = RunStats {
             elapsed,
+            failed: faults.failed(),
+            failures: faults.take_failures(),
             per_place_executed: per_place.iter().map(|(e, _, _)| *e).collect(),
             ..RunStats::default()
         };
@@ -721,6 +886,25 @@ mod tests {
         assert!(msg.contains("boom at 13"), "got: {msg}");
     }
 
+    /// Under `Isolate` the same panicking workload completes: the failure
+    /// is quarantined into the stats with exact accounting, siblings run
+    /// every other task, and the scheduler reports place + priority.
+    #[test]
+    fn isolate_quarantines_panicking_task_and_finishes() {
+        let sched = Scheduler::from_pool(PriorityWorkStealing::new(2))
+            .with_fault_policy(FaultPolicy::Isolate);
+        let roots: Vec<(u64, usize, u64)> = (0..50u64).map(|i| (i, 0usize, i)).collect();
+        let stats = sched.run(&PanicOn13, roots);
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.executed, 49, "every non-bomb task still runs");
+        assert_eq!(stats.failures.len(), 1);
+        let failure = &stats.failures[0];
+        assert_eq!(failure.prio, 13, "priority captured from the pop");
+        assert!(failure.place < 2);
+        assert!(failure.message.contains("boom at 13"), "{failure}");
+        assert!(stats.to_string().contains("1 failed"), "{stats}");
+    }
+
     /// Streamed run: external producers submit while the pool is running;
     /// the run must execute roots + everything ingested, then terminate
     /// only after all handles drop.
@@ -847,7 +1031,11 @@ impl std::fmt::Display for RunStats {
             self.pool.steals,
             self.pool.spies,
             self.pool.publishes,
-        )
+        )?;
+        if self.failed > 0 {
+            write!(f, "; {} failed (quarantined)", self.failed)?;
+        }
+        Ok(())
     }
 }
 
@@ -866,6 +1054,8 @@ mod display_tests {
                 ..PlaceStats::default()
             },
             per_place_executed: vec![6, 4],
+            failed: 0,
+            failures: Vec::new(),
         };
         let s = stats.to_string();
         assert!(s.contains("10 tasks"), "{s}");

@@ -21,20 +21,43 @@
 //! [`PoolService::try_submit`] sheds with a typed [`SubmitError`] when
 //! every lane is full, while the blocking [`PoolService::submit`] parks
 //! the producer until a drain frees room. Either way, **after an abort**
-//! (a task panicked — [`PoolService::join`] returned `false` — or the
-//! service was dropped without shutdown) all submission paths fail with
-//! [`SubmitError::Aborted`] and hand the task back, instead of silently
-//! accepting work that would be discarded at shutdown.
+//! (a task panicked under `FaultPolicy::AbortRun` — [`PoolService::join`]
+//! returned `Err(PoolAborted)` — or the service was dropped without
+//! shutdown) all submission paths fail with [`SubmitError::Aborted`] and
+//! hand the task back, instead of silently accepting work that would be
+//! discarded at shutdown. Start with [`PoolService::start_with_policy`]
+//! and `FaultPolicy::Isolate` to quarantine panicking tasks instead of
+//! aborting — see the "Failure handling" section of the crate docs.
 
 use crate::async_ingest::{AsyncIngestHandle, JoinFuture};
 use crate::ingest::{IngestHandle, IngressLanes, SubmitError};
-use crate::pool::{PoolHandle, TaskPool};
-use crate::scheduler::{place_loop, RunStats, TaskExecutor};
+use crate::pool::{FaultPolicy, PoolHandle, TaskPool};
+use crate::scheduler::{place_loop, FailureReport, FaultCell, PoolAborted, RunStats, TaskExecutor};
 use crate::stats::PlaceStats;
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Error from [`PoolService::shutdown`] when the pool aborted
+/// (`FaultPolicy::AbortRun` and a task panicked): the aborting failure
+/// plus the statistics accumulated up to the abort — shutdown never
+/// resumes the panic on the caller.
+#[derive(Debug)]
+pub struct ShutdownError {
+    /// The failure that raised the abort flag.
+    pub failure: FailureReport,
+    /// Lifetime statistics up to the abort (`failed`/`failures`
+    /// populated).
+    pub stats: RunStats,
+}
+
+impl std::fmt::Display for ShutdownError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pool service aborted: {}", self.failure)
+    }
+}
+
+impl std::error::Error for ShutdownError {}
 
 /// A running pool with its worker threads, accepting external submissions.
 ///
@@ -47,7 +70,7 @@ pub struct PoolService<T: Send + 'static> {
     handle: Option<IngestHandle<T>>,
     pending: Arc<AtomicU64>,
     abort: Arc<AtomicBool>,
-    panic_payload: Arc<Mutex<Option<Box<dyn std::any::Any + Send>>>>,
+    faults: Arc<FaultCell>,
     workers: Vec<std::thread::JoinHandle<(u64, u64, PlaceStats)>>,
     started: Instant,
 }
@@ -84,6 +107,27 @@ impl<T: Send + 'static> PoolService<T> {
         P: TaskPool<T>,
         E: TaskExecutor<T> + Send + Sync + 'static,
     {
+        Self::start_with_policy(pool, executor, lane_capacity, FaultPolicy::AbortRun)
+    }
+
+    /// Like [`PoolService::start_with_capacity`], additionally selecting
+    /// what the workers do when a task panics (see [`FaultPolicy`]). Under
+    /// `Isolate` a panicking task is quarantined into a [`FailureReport`]
+    /// ([`PoolService::failed`]/[`PoolService::shutdown`] stats) and the
+    /// service keeps serving.
+    ///
+    /// # Panics
+    /// Panics if `lane_capacity` is `Some(0)`.
+    pub fn start_with_policy<P, E>(
+        pool: Arc<P>,
+        executor: Arc<E>,
+        lane_capacity: Option<usize>,
+        fault_policy: FaultPolicy,
+    ) -> Self
+    where
+        P: TaskPool<T>,
+        E: TaskExecutor<T> + Send + Sync + 'static,
+    {
         let nplaces = pool.num_places();
         let lanes = IngressLanes::with_capacity(nplaces, lane_capacity);
         // Mint the service's own handle before any worker can observe the
@@ -92,15 +136,14 @@ impl<T: Send + 'static> PoolService<T> {
         let handle = lanes.handle();
         let pending = Arc::new(AtomicU64::new(0));
         let abort = Arc::new(AtomicBool::new(false));
-        let panic_payload: Arc<Mutex<Option<Box<dyn std::any::Any + Send>>>> =
-            Arc::new(Mutex::new(None));
+        let faults = Arc::new(FaultCell::new(fault_policy));
         let mut workers = Vec::with_capacity(nplaces);
         for place in 0..nplaces {
             let pool = Arc::clone(&pool);
             let executor = Arc::clone(&executor);
             let pending = Arc::clone(&pending);
             let abort = Arc::clone(&abort);
-            let panic_payload = Arc::clone(&panic_payload);
+            let faults = Arc::clone(&faults);
             let shared = Arc::clone(lanes.shared());
             let join = std::thread::Builder::new()
                 .name(format!("priosched-place-{place}"))
@@ -111,7 +154,7 @@ impl<T: Send + 'static> PoolService<T> {
                         &*executor,
                         &pending,
                         &abort,
-                        &panic_payload,
+                        &faults,
                         Some(&shared),
                         place,
                     );
@@ -125,7 +168,7 @@ impl<T: Send + 'static> PoolService<T> {
             handle: Some(handle),
             pending,
             abort,
-            panic_payload,
+            faults,
             workers,
             started: Instant::now(),
         }
@@ -188,28 +231,33 @@ impl<T: Send + 'static> PoolService<T> {
 
     /// Blocks until everything submitted so far has been executed (lanes
     /// empty, outstanding-task counter zero) — the workers stay running
-    /// for the next round of submissions. Returns `false` if the pool
-    /// aborted on a task panic instead (the payload re-raises at
-    /// [`PoolService::shutdown`]).
+    /// for the next round of submissions. Returns `Err(PoolAborted)` with
+    /// the aborting failure if the pool aborted on a task panic instead
+    /// (`FaultPolicy::AbortRun`); under `Isolate` a drain with quarantined
+    /// failures is still `Ok` — inspect [`PoolService::failed`].
     ///
     /// Event-driven: the caller parks on the control slot and is woken by
     /// the pending counter reaching zero (the last task of a drain) or by
     /// an abort — no polling. The register → re-check → park protocol
     /// (see [`crate::park`]) closes the race against a drain that
     /// completes between the check and the sleep.
-    pub fn join(&self) -> bool {
+    pub fn join(&self) -> Result<(), PoolAborted> {
         let drained =
             |this: &Self| this.lanes.queued() == 0 && this.pending.load(Ordering::Acquire) == 0;
         let control = self.lanes.shared().parker().control();
         loop {
             if self.abort.load(Ordering::Acquire) {
-                return false;
+                return Err(self.aborted());
             }
             if drained(self) {
                 // Re-check after observing the drain: a panicking task
-                // raises the abort flag before releasing its pending count,
-                // so a panic-caused drain is visible here.
-                return !self.abort.load(Ordering::Acquire);
+                // records its failure and raises the abort flag before
+                // releasing its pending count, so a panic-caused drain is
+                // visible here.
+                if self.abort.load(Ordering::Acquire) {
+                    return Err(self.aborted());
+                }
+                return Ok(());
             }
             let token = control.prepare();
             if self.abort.load(Ordering::Acquire) || drained(self) {
@@ -220,16 +268,41 @@ impl<T: Send + 'static> PoolService<T> {
         }
     }
 
+    /// The typed abort outcome: the first recorded failure. The abort flag
+    /// is raised *after* the failure record (see `SpawnCtx::run_one`), so
+    /// an observed abort implies a visible report; the fallback covers
+    /// only abortive teardown paths that never had a panicking task.
+    fn aborted(&self) -> PoolAborted {
+        PoolAborted {
+            failure: self.faults.first_failure().unwrap_or(FailureReport {
+                place: 0,
+                prio: 0,
+                message: "pool aborted".to_string(),
+            }),
+        }
+    }
+
     /// Async sibling of [`PoolService::join`]: a future that resolves to
-    /// `true` once everything submitted so far has been executed (lanes
+    /// `Ok(())` once everything submitted so far has been executed (lanes
     /// empty, outstanding-task counter zero — the service's quiescence
-    /// condition short of dropping producers), or `false` if the pool
-    /// aborted on a task panic. The future deposits its waker on the
-    /// control slot where the blocking join parks, so it is woken by the
-    /// same pending-counter-reaches-zero / abort events, and it revokes
-    /// the deposit when dropped before the drain.
+    /// condition short of dropping producers), or `Err(PoolAborted)` if
+    /// the pool aborted on a task panic. The future deposits its waker on
+    /// the control slot where the blocking join parks, so it is woken by
+    /// the same pending-counter-reaches-zero / abort events, and it
+    /// revokes the deposit when dropped before the drain.
     pub fn join_async(&self) -> JoinFuture<'_, T> {
-        JoinFuture::new(self.lanes.shared(), &self.pending, &self.abort)
+        JoinFuture::new(
+            self.lanes.shared(),
+            &self.pending,
+            &self.abort,
+            &self.faults,
+        )
+    }
+
+    /// Number of task failures recorded so far: quarantined panics under
+    /// `FaultPolicy::Isolate`, or the aborting panic under `AbortRun`.
+    pub fn failed(&self) -> u64 {
+        self.faults.failed()
     }
 
     /// Total idle-path iterations of the worker loops so far. A healthy
@@ -257,17 +330,26 @@ impl<T: Send + 'static> PoolService<T> {
 
     /// Drops the service's producer handle, waits for quiescence, joins
     /// the workers, and returns the aggregated statistics of the service's
-    /// whole lifetime. Re-raises the payload if any task panicked.
+    /// whole lifetime. If the pool aborted on a task panic
+    /// (`FaultPolicy::AbortRun`), returns a typed [`ShutdownError`]
+    /// carrying the failure and the partial stats — never a resumed
+    /// panic. Under `Isolate`, quarantined failures ride along on
+    /// `Ok(stats)` (`RunStats::failed`/`failures`).
     ///
     /// Blocks until every external [`IngestHandle`] is dropped — they are
     /// the remaining producers the quiescence protocol waits on.
-    pub fn shutdown(mut self) -> RunStats {
+    // Called once per service lifetime; the fat Err (full RunStats +
+    // failure) is worth more to callers than a boxed indirection.
+    #[allow(clippy::result_large_err)]
+    pub fn shutdown(mut self) -> Result<RunStats, ShutdownError> {
         let per_place = self.shutdown_inner();
-        if let Some(payload) = self.panic_payload.lock().take() {
-            std::panic::resume_unwind(payload);
-        }
+        // The payload is intentionally dropped: failures surface as typed
+        // results here, not as a resumed panic.
+        let _ = self.faults.take_payload();
         let mut stats = RunStats {
             elapsed: self.started.elapsed(),
+            failed: self.faults.failed(),
+            failures: self.faults.take_failures(),
             per_place_executed: per_place.iter().map(|(e, _, _)| *e).collect(),
             ..RunStats::default()
         };
@@ -276,7 +358,12 @@ impl<T: Send + 'static> PoolService<T> {
             stats.dead += dead;
             stats.pool.merge(&pool_stats);
         }
-        stats
+        if self.abort.load(Ordering::Acquire) {
+            if let Some(failure) = stats.failures.first().cloned() {
+                return Err(ShutdownError { failure, stats });
+            }
+        }
+        Ok(stats)
     }
 
     fn own_handle(&mut self) -> &mut IngestHandle<T> {
@@ -351,18 +438,19 @@ mod tests {
         assert_eq!(svc.places(), 2);
 
         svc.submit(5, 8, 5u64).unwrap(); // 5,4,3,2,1,0 → 6 executions
-        assert!(svc.join());
+        svc.join().unwrap();
         assert_eq!(exec.0.load(Ordering::Relaxed), 6);
 
         // The service survives the drain: a second round reuses the same
         // workers and pool.
         svc.submit(2, 8, 2u64).unwrap();
         svc.submit(1, 8, 1u64).unwrap();
-        assert!(svc.join());
+        svc.join().unwrap();
         assert_eq!(exec.0.load(Ordering::Relaxed), 6 + 3 + 2);
 
-        let stats = svc.shutdown();
+        let stats = svc.shutdown().expect("clean shutdown");
         assert_eq!(stats.executed, 11);
+        assert_eq!(stats.failed, 0);
         assert_eq!(stats.per_place_executed.len(), 2);
     }
 
@@ -390,12 +478,12 @@ mod tests {
                 });
             }
         });
-        assert!(svc.join());
+        svc.join().unwrap();
         // Every submitted value i runs itself plus its countdown chain:
         // i + 1 executions.
         let expect: u64 = producers * (0..per).map(|i| i + 1).sum::<u64>();
         assert_eq!(exec.0.load(Ordering::Relaxed), expect);
-        let stats = svc.shutdown();
+        let stats = svc.shutdown().expect("clean shutdown");
         assert_eq!(stats.executed, expect);
     }
 
@@ -409,15 +497,56 @@ mod tests {
     }
 
     #[test]
-    fn task_panic_surfaces_at_shutdown() {
+    fn task_panic_surfaces_as_typed_results() {
         let pool = Arc::new(PriorityWorkStealing::new(2));
         let mut svc = PoolService::start(pool, Arc::new(PanicOn13));
         svc.submit(13, 0, 13u64).unwrap();
-        assert!(!svc.join(), "join must report the abort");
-        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| svc.shutdown()))
-            .expect_err("shutdown must re-raise the task panic");
-        let msg = err.downcast_ref::<&str>().copied().unwrap_or("<non-str>");
-        assert!(msg.contains("boom at 13"), "got: {msg}");
+        let aborted = svc.join().expect_err("join must report the abort");
+        assert_eq!(aborted.failure.prio, 13);
+        assert!(
+            aborted.failure.message.contains("boom at 13"),
+            "got: {aborted}"
+        );
+        assert_eq!(svc.failed(), 1);
+        let err = svc
+            .shutdown()
+            .expect_err("shutdown must report the abort as a typed error");
+        assert!(err.failure.message.contains("boom at 13"), "got: {err}");
+        assert_eq!(err.stats.failed, 1);
+        assert_eq!(err.stats.failures[0].prio, 13);
+    }
+
+    #[test]
+    fn isolate_policy_keeps_service_running_past_panics() {
+        let exec = Arc::new(CountDown(AtomicU64::new(0)));
+        struct Mixed(Arc<CountDown>);
+        impl TaskExecutor<u64> for Mixed {
+            fn execute(&self, t: u64, ctx: &mut SpawnCtx<'_, u64>) {
+                if t == 13 {
+                    panic!("boom at 13");
+                }
+                self.0.execute(t, ctx);
+            }
+        }
+        let pool = Arc::new(PriorityWorkStealing::new(2));
+        let mut svc = PoolService::start_with_policy(
+            pool,
+            Arc::new(Mixed(Arc::clone(&exec))),
+            Some(8),
+            FaultPolicy::Isolate,
+        );
+        svc.submit(13, 0, 13u64).unwrap();
+        svc.submit(3, 8, 3u64).unwrap();
+        svc.join().expect("isolated failures do not abort");
+        assert_eq!(svc.failed(), 1);
+        // The service keeps serving after the quarantine.
+        svc.submit(2, 8, 2u64).unwrap();
+        svc.join().unwrap();
+        let stats = svc.shutdown().expect("isolate shuts down cleanly");
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.failures[0].message, "boom at 13");
+        // 3,2,1,0 + 2,1,0 executed; the bomb is quarantined, not counted.
+        assert_eq!(stats.executed, 7);
     }
 
     #[test]
@@ -425,8 +554,8 @@ mod tests {
         let pool = Arc::new(HybridKPriority::new(3));
         let svc: PoolService<u64> =
             PoolService::start(pool, Arc::new(CountDown(AtomicU64::new(0))));
-        assert!(svc.join(), "an idle service is trivially drained");
-        let stats = svc.shutdown();
+        svc.join().expect("an idle service is trivially drained");
+        let stats = svc.shutdown().expect("clean shutdown");
         assert_eq!(stats.executed, 0);
         assert_eq!(stats.per_place_executed, vec![0, 0, 0]);
     }
@@ -450,7 +579,7 @@ mod tests {
             let pool = Arc::new(HybridKPriority::new(2));
             let mut svc = PoolService::start(pool, Arc::clone(&exec));
             svc.submit(3, 8, 3u64).unwrap();
-            svc.join();
+            svc.join().unwrap();
             // No shutdown: Drop must still release the producer slot and
             // join the workers without hanging.
         }

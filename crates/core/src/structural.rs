@@ -164,7 +164,7 @@ impl<T: Send + 'static> PoolHandle<T> for StructuralHandle<T> {
         self.stats.publishes += 1;
     }
 
-    fn pop(&mut self) -> Option<T> {
+    fn pop_entry(&mut self) -> Option<(u64, T)> {
         // Take the better of (own buffer min, shared min).
         let mut buf = self.shared.buffers[self.place].lock();
         let mut shared = self.shared.shared_heap.lock();
@@ -191,7 +191,7 @@ impl<T: Send + 'static> PoolHandle<T> for StructuralHandle<T> {
                             self.stats.steals += 1;
                             if let Some(e) = self.shared.shared_heap.lock().pop() {
                                 self.stats.pops += 1;
-                                return Some(e.task);
+                                return Some((e.prio, e.task));
                             }
                         }
                     }
@@ -208,7 +208,7 @@ impl<T: Send + 'static> PoolHandle<T> for StructuralHandle<T> {
             shared.pop()
         };
         self.stats.pops += 1;
-        entry.map(|e| e.task)
+        entry.map(|e| (e.prio, e.task))
     }
 
     /// Batch push: the local-buffer prefix fills under one buffer lock,

@@ -119,10 +119,10 @@ impl<T: Send + 'static> PoolHandle<T> for WorkStealingHandle<T> {
         self.stats.pushes += 1;
     }
 
-    fn pop(&mut self) -> Option<T> {
+    fn pop_entry(&mut self) -> Option<(u64, T)> {
         if let Some(e) = self.shared.queues[self.place].lock().pop() {
             self.stats.pops += 1;
-            return Some(e.task);
+            return Some((e.prio, e.task));
         }
         // Local queue empty: steal half from a random victim (§3.1).
         let p = self.shared.queues.len();
@@ -149,7 +149,7 @@ impl<T: Send + 'static> PoolHandle<T> for WorkStealingHandle<T> {
                 }
                 if first.is_some() {
                     self.stats.pops += 1;
-                    return first.map(|e| e.task);
+                    return first.map(|e| (e.prio, e.task));
                 }
             }
         }

@@ -218,16 +218,16 @@ fn service_async_submit_and_join() {
         handle.submit_batch(8, &mut batch).await.expect("live");
         svc.join_async().await
     });
-    assert!(drained, "join_async must report a clean drain");
+    drained.expect("join_async must report a clean drain");
     let want: u64 = (0..20u64).map(|i| i + 1).sum::<u64>() + (0..10u64).map(|i| i + 1).sum::<u64>();
     assert_eq!(exec.0.load(Ordering::Relaxed), want);
     drop(handle);
-    let stats = svc.shutdown();
+    let stats = svc.shutdown().expect("clean shutdown");
     assert_eq!(stats.executed, want);
 }
 
-/// `join_async` on an aborted service resolves to `false` (and does not
-/// hang), mirroring the blocking `join`.
+/// `join_async` on an aborted service resolves to a typed `PoolAborted`
+/// error (and does not hang), mirroring the blocking `join`.
 #[test]
 fn join_async_reports_abort() {
     struct PanicOn13;
@@ -242,7 +242,12 @@ fn join_async_reports_abort() {
         .places(2)
         .service(Arc::new(PanicOn13));
     svc.submit(13, 0, 13u64).unwrap();
-    assert!(!futures_executor::block_on(svc.join_async()));
+    let aborted =
+        futures_executor::block_on(svc.join_async()).expect_err("join_async must report the abort");
+    assert!(
+        aborted.failure.message.contains("boom at 13"),
+        "got: {aborted}"
+    );
     // And async submission after the abort surfaces the typed error.
     let mut handle = svc.async_ingest_handle();
     match futures_executor::block_on(handle.submit(1, 0, 41)) {
@@ -250,8 +255,8 @@ fn join_async_reports_abort() {
         other => panic!("expected Aborted, got {other:?}"),
     }
     drop(handle);
-    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| svc.shutdown()))
-        .expect_err("shutdown must re-raise the task panic");
-    let msg = err.downcast_ref::<&str>().copied().unwrap_or("<non-str>");
-    assert!(msg.contains("boom at 13"), "got: {msg}");
+    let err = svc
+        .shutdown()
+        .expect_err("shutdown must report the abort as a typed error");
+    assert!(err.failure.message.contains("boom at 13"), "got: {err}");
 }

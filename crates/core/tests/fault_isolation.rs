@@ -1,0 +1,184 @@
+//! Property tests for the fault-isolation tentpole: panics under both
+//! [`FaultPolicy`] values, driven mid-streamed-run on every structure.
+//!
+//! * **AbortRun** (the default): a panic mid-run must *release* blocked
+//!   producers — every blocking submit returns, and any error it
+//!   returns is `SubmitError::Aborted` — and the panic is reported
+//!   exactly once through the typed `join`/`shutdown` results (one
+//!   bomb task exists, so exactly one [`FailureReport`]).
+//! * **Isolate**: the run finishes; quarantined and completed tasks
+//!   partition the submissions exactly: `failed + executed ==
+//!   submitted`, with one failure report per bomb.
+//!
+//! Both properties hold for arbitrary task multisets, producer counts,
+//! and all four [`PoolKind`]s — proptest shrinks any interleaving that
+//! breaks them.
+
+use priosched_core::{
+    FaultPolicy, PoolBuilder, PoolKind, PoolService, SpawnCtx, SubmitError, TaskExecutor,
+};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Once};
+
+/// The AbortRun bomb: a value no generated task can carry.
+const SENTINEL: u64 = 1 << 40;
+const SENTINEL_PRIO: u64 = 9_999;
+
+/// Keeps the injected panics from spamming a backtrace per proptest
+/// case while leaving real failures loud.
+fn quiet_bomb_panics() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(|s| s.as_str())
+                .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if !msg.starts_with("fault bomb") {
+                default_hook(info);
+            }
+        }));
+    });
+}
+
+/// Panics on bomb tasks (the sentinel, or any value `≡ 3 (mod 7)` when
+/// `value_bombs` is on), counts everything else. No spawning: the
+/// submission multiset is the full task population, so the isolate
+/// partition check is exact.
+struct Bombable {
+    executed: AtomicU64,
+    value_bombs: bool,
+}
+
+impl Bombable {
+    fn is_bomb(&self, v: u64) -> bool {
+        v == SENTINEL || (self.value_bombs && v % 7 == 3)
+    }
+}
+
+impl TaskExecutor<u64> for Bombable {
+    fn execute(&self, v: u64, _ctx: &mut SpawnCtx<'_, u64>) {
+        if self.is_bomb(v) {
+            panic!("fault bomb {v}");
+        }
+        self.executed.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+/// Shards `values` across `producers` threads submitting through their
+/// own ingest handles; returns every `SubmitError` kind observed.
+fn drive_producers(svc: &PoolService<u64>, values: &[u16], producers: usize) -> Vec<SubmitError> {
+    std::thread::scope(|s| {
+        let mut workers = Vec::new();
+        for p in 0..producers {
+            let mut handle = svc.ingest_handle();
+            let shard: Vec<u64> = values
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % producers == p)
+                .map(|(_, &v)| v as u64)
+                .collect();
+            workers.push(s.spawn(move || {
+                let mut errors = Vec::new();
+                for v in shard {
+                    if let Err(e) = handle.submit(v, 8, v) {
+                        errors.push(e.kind());
+                    }
+                }
+                errors
+            }));
+        }
+        workers
+            .into_iter()
+            .flat_map(|w| w.join().expect("producer threads never panic"))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// AbortRun: one bomb, tiny bounded lanes so producers actually
+    /// block. The scope returning at all proves the abort released
+    /// them; the only error they may see is `Aborted`; and the typed
+    /// join/shutdown results carry the panic exactly once.
+    #[test]
+    fn abort_mid_stream_releases_producers_and_reports_once(
+        values in proptest::collection::vec(any::<u16>(), 0..40),
+        producers in 1usize..4,
+    ) {
+        quiet_bomb_panics();
+        for kind in PoolKind::ALL {
+            let exec = Arc::new(Bombable { executed: AtomicU64::new(0), value_bombs: false });
+            let svc: PoolService<u64> = PoolBuilder::new(kind)
+                .places(2)
+                .k(8)
+                .lane_capacity(1)
+                .service(Arc::clone(&exec));
+            // The bomb is in the lanes before any producer starts, so
+            // the abort is guaranteed; producers then race it.
+            svc.ingest_handle()
+                .submit(SENTINEL_PRIO, 8, SENTINEL)
+                .expect("live lanes accept the bomb");
+            let errors = drive_producers(&svc, &values, producers);
+            for e in &errors {
+                prop_assert!(
+                    matches!(e, SubmitError::Aborted(())),
+                    "{kind}: blocked producers must be released with Aborted, got {e:?}"
+                );
+            }
+            let aborted = svc.join().expect_err("the bomb must abort the run");
+            prop_assert_eq!(aborted.failure.prio, SENTINEL_PRIO, "{}", kind);
+            let want_message = format!("fault bomb {SENTINEL}");
+            prop_assert_eq!(&aborted.failure.message, &want_message, "{}", kind);
+            let err = svc.shutdown().expect_err("typed shutdown after abort");
+            prop_assert_eq!(
+                err.stats.failures.len(), 1,
+                "{}: one bomb task, exactly one report", kind
+            );
+            prop_assert_eq!(err.stats.failed, 1, "{}", kind);
+        }
+    }
+
+    /// Isolate: bombs are a pure function of the value, so quarantined
+    /// and completed tasks must partition the submissions exactly —
+    /// `failed + executed == submitted` — with one report per bomb.
+    #[test]
+    fn isolate_partitions_submissions_exactly(
+        values in proptest::collection::vec(any::<u16>(), 0..60),
+        producers in 1usize..4,
+    ) {
+        quiet_bomb_panics();
+        let want_failed = values.iter().filter(|&&v| u64::from(v) % 7 == 3).count() as u64;
+        let want_executed = values.len() as u64 - want_failed;
+        for kind in PoolKind::ALL {
+            let exec = Arc::new(Bombable { executed: AtomicU64::new(0), value_bombs: true });
+            let svc: PoolService<u64> = PoolBuilder::new(kind)
+                .places(2)
+                .k(8)
+                .lane_capacity(2)
+                .fault_policy(FaultPolicy::Isolate)
+                .service(Arc::clone(&exec));
+            let errors = drive_producers(&svc, &values, producers);
+            prop_assert!(errors.is_empty(), "{}: Isolate never rejects: {:?}", kind, errors);
+            svc.join().expect("Isolate finishes the run");
+            let stats = svc.shutdown().expect("clean Isolate shutdown");
+            prop_assert_eq!(stats.failed, want_failed, "{}", kind);
+            prop_assert_eq!(stats.executed, want_executed, "{}", kind);
+            prop_assert_eq!(
+                stats.failed + stats.executed,
+                values.len() as u64,
+                "{}: quarantined + completed must partition the submissions", kind
+            );
+            prop_assert_eq!(stats.failures.len() as u64, want_failed, "{}", kind);
+            for f in &stats.failures {
+                prop_assert!(f.prio % 7 == 3, "{}: non-bomb prio {} reported", kind, f.prio);
+            }
+            prop_assert_eq!(exec.executed.load(Ordering::Acquire), want_executed, "{}", kind);
+        }
+    }
+}

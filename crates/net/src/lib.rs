@@ -59,10 +59,46 @@
 //! dropping their producer handles), join the actors, then
 //! [`PoolService::shutdown`] — which *drains to quiescence* rather than
 //! aborting, so work accepted from a client is never discarded.
+//!
+//! # Deadlines and idle reaping
+//!
+//! All three connection deadlines on [`ServerConfig`] default to **off**
+//! (`None`) — a server without them behaves exactly as before, with
+//! actors blocked in `read` burning no CPU. When configured:
+//!
+//! - [`ServerConfig::read_timeout`] bounds how long a *started* request
+//!   line may take to complete. A client that sends half a line and
+//!   stalls is answered `ERR read deadline exceeded` and disconnected —
+//!   a half-open or malicious peer cannot pin an actor (and its producer
+//!   handle, and therefore quiescence) forever.
+//! - [`ServerConfig::idle_timeout`] bounds the gap *between* requests:
+//!   a connection with no bytes in flight for that long is quietly
+//!   reaped (socket closed, actor exits, producer handle dropped).
+//! - [`ServerConfig::write_timeout`] bounds each reply write; a stalled
+//!   writer ends the connection via the ordinary write-error path.
+//!
+//! Deadline enforcement polls the socket with a short tick (a fraction
+//! of the smallest configured deadline), preserving any partial line
+//! already read across ticks — partial input is never dropped while the
+//! deadline has not expired.
+//!
+//! # Fault containment
+//!
+//! A panicking connection actor must not take the server down with it:
+//! the panic is caught *inside* the actor thread, the socket registry
+//! entry is released, and the failure is recorded as a [`ConnFailure`]
+//! in [`ServeSummary::failures`] instead of resuming the panic out of
+//! [`Server::shutdown`]. The same goes for the accept loop. A task
+//! panic inside the pool itself surfaces through the typed
+//! [`PoolService::shutdown`] result; the server folds those stats (with
+//! their `failed` count and [`priosched_core::FailureReport`]s) into
+//! [`ServeSummary::run`] rather than poisoning shutdown.
 
 use priosched_core::async_ingest::AsyncIngestHandle;
-use priosched_core::{PoolBuilder, PoolKind, PoolService, RunStats, SpawnCtx, TaskExecutor};
-use std::io::{BufRead, BufReader, Write};
+use priosched_core::{
+    panic_message, PoolBuilder, PoolKind, PoolService, RunStats, SpawnCtx, TaskExecutor,
+};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -217,6 +253,17 @@ pub struct ServerConfig {
     /// what make the submit futures pend — and the clients stall — under
     /// overload.
     pub lane_capacity: Option<usize>,
+    /// Deadline for completing a request line once its first byte
+    /// arrived (`None` = wait forever — the default). Exceeding it gets
+    /// `ERR read deadline exceeded` and a disconnect.
+    pub read_timeout: Option<Duration>,
+    /// Deadline for each reply write (`None` = blocking writes — the
+    /// default). A stalled writer ends the connection.
+    pub write_timeout: Option<Duration>,
+    /// Idle-connection reaper: a connection with no request bytes in
+    /// flight for this long is quietly closed (`None` = never — the
+    /// default).
+    pub idle_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -226,6 +273,30 @@ impl Default for ServerConfig {
             places: 2,
             k: 64,
             lane_capacity: Some(256),
+            read_timeout: None,
+            write_timeout: None,
+            idle_timeout: None,
+        }
+    }
+}
+
+/// A contained server-side failure: a connection actor (or the accept
+/// loop) that panicked instead of exiting cleanly. Recorded in
+/// [`ServeSummary::failures`] rather than resumed out of shutdown.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConnFailure {
+    /// Accept slot of the failed connection (`None` when the accept
+    /// loop itself failed).
+    pub slot: Option<usize>,
+    /// The rendered panic message.
+    pub message: String,
+}
+
+impl std::fmt::Display for ConnFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.slot {
+            Some(slot) => write!(f, "connection {slot} failed: {}", self.message),
+            None => write!(f, "accept loop failed: {}", self.message),
         }
     }
 }
@@ -233,16 +304,27 @@ impl Default for ServerConfig {
 /// Aggregated outcome of one server lifetime.
 #[derive(Debug)]
 pub struct ServeSummary {
-    /// The pool's run statistics (from [`PoolService::shutdown`]).
+    /// The pool's run statistics (from [`PoolService::shutdown`]). A
+    /// task panic under the pool's fault policy shows up here as
+    /// `run.failed` / `run.failures` — shutdown itself stays graceful.
     pub run: RunStats,
-    /// Per-connection counters, in accept order.
+    /// Per-connection counters, in accept order. Connections whose
+    /// actor panicked are absent here and present in `failures`.
     pub connections: Vec<ConnStats>,
+    /// Contained actor/accept-loop panics (empty on a healthy run).
+    pub failures: Vec<ConnFailure>,
 }
 
 impl ServeSummary {
     /// Jobs accepted across all connections.
     pub fn accepted(&self) -> u64 {
         self.connections.iter().map(|c| c.accepted).sum()
+    }
+
+    /// `true` when nothing went wrong anywhere: no actor panics and no
+    /// quarantined task failures in the pool.
+    pub fn healthy(&self) -> bool {
+        self.failures.is_empty() && self.run.failed == 0
     }
 }
 
@@ -279,12 +361,17 @@ pub struct Server {
     started: Instant,
 }
 
-/// The accept loop's thread. Returns the stats of connections already
+/// One actor thread's outcome: its stats, or the rendered message of a
+/// panic it contained (the catch happens *inside* the thread, after the
+/// registry cleanup — joining an actor never re-raises).
+type ActorOutcome = Result<ConnStats, String>;
+
+/// The accept loop's thread. Returns the outcomes of connections already
 /// reaped during the loop plus the still-live actor threads, both keyed
 /// by accept slot so the final summary is in accept order.
 type AcceptThread = std::thread::JoinHandle<(
-    Vec<(usize, ConnStats)>,
-    Vec<(usize, std::thread::JoinHandle<ConnStats>)>,
+    Vec<(usize, ActorOutcome)>,
+    Vec<(usize, std::thread::JoinHandle<ActorOutcome>)>,
 )>;
 
 impl Server {
@@ -314,7 +401,7 @@ impl Server {
             let ctl = Arc::clone(&ctl);
             std::thread::Builder::new()
                 .name("priosched-accept".into())
-                .spawn(move || accept_loop(listener, service, exec, ctl))
+                .spawn(move || accept_loop(listener, service, exec, ctl, config))
                 .expect("failed to spawn accept thread")
         };
         Ok(Server {
@@ -369,7 +456,9 @@ impl Server {
     /// Graceful shutdown: close the listener, let every live connection
     /// finish its current request, join the actors, then drain the pool
     /// to quiescence ([`PoolService::shutdown`] — in-flight accepted work
-    /// always completes). Returns the aggregated summary.
+    /// always completes). Returns the aggregated summary. Never panics on
+    /// a failed actor or aborted pool: those are reported in
+    /// [`ServeSummary::failures`] and [`ServeSummary::run`] instead.
     pub fn shutdown(mut self) -> ServeSummary {
         self.shutdown_impl()
             .expect("shutdown_impl runs once before drop")
@@ -380,15 +469,28 @@ impl Server {
         self.ctl.stop.store(true, Ordering::Release);
         // Poke the blocking accept() awake; it observes `stop` and exits.
         let _ = TcpStream::connect(self.addr);
+        let mut failures: Vec<ConnFailure> = Vec::new();
         // Join the accept loop *before* closing connections: once it has
         // exited, the connection registry can no longer grow, so the close
         // sweep below cannot miss a just-accepted socket.
-        let (mut reaped, live) = self
+        let (mut reaped, live) = match self
             .accept
             .take()
             .expect("accept thread present until shutdown")
             .join()
-            .expect("accept thread must not panic");
+        {
+            Ok(collected) => collected,
+            Err(payload) => {
+                // Contained: no actor list to join, but the registry sweep
+                // below still unblocks live actors (they clean up their own
+                // registry entries as they exit).
+                failures.push(ConnFailure {
+                    slot: None,
+                    message: panic_message(&*payload),
+                });
+                (Vec::new(), Vec::new())
+            }
+        };
         // Unblock actors waiting in read(): EOF ends their request loop
         // after the current request — accepted work is never cut short.
         for conn in self
@@ -401,18 +503,40 @@ impl Server {
             let _ = conn.shutdown(Shutdown::Read);
         }
         for (slot, actor) in live {
-            reaped.push((slot, actor.join().expect("connection actor must not panic")));
+            let outcome = actor
+                .join()
+                .unwrap_or_else(|payload| Err(panic_message(&*payload)));
+            reaped.push((slot, outcome));
         }
         reaped.sort_by_key(|&(slot, _)| slot);
-        let connections = reaped.into_iter().map(|(_, stats)| stats).collect();
+        let mut connections = Vec::new();
+        for (slot, outcome) in reaped {
+            match outcome {
+                Ok(stats) => connections.push(stats),
+                Err(message) => failures.push(ConnFailure {
+                    slot: Some(slot),
+                    message,
+                }),
+            }
+        }
         // Every actor has exited and dropped its producer handle; the only
         // remaining Arc is ours, and PoolService::shutdown drains to
-        // quiescence instead of aborting.
+        // quiescence instead of aborting. A pool-level abort (task panic
+        // under `FaultPolicy::AbortRun`) surfaces as the typed error whose
+        // stats — including the failure reports — we fold into the summary
+        // rather than letting it poison shutdown.
         let service = Arc::try_unwrap(service)
             .unwrap_or_else(|_| panic!("connection actors must not outlive the accept loop"));
-        let mut run = service.shutdown();
+        let mut run = match service.shutdown() {
+            Ok(run) => run,
+            Err(err) => err.stats,
+        };
         run.elapsed = self.started.elapsed();
-        Some(ServeSummary { run, connections })
+        Some(ServeSummary {
+            run,
+            connections,
+            failures,
+        })
     }
 }
 
@@ -438,12 +562,13 @@ fn accept_loop(
     service: Arc<PoolService<u64>>,
     exec: Arc<CountdownExec>,
     ctl: Arc<Ctl>,
+    config: ServerConfig,
 ) -> (
-    Vec<(usize, ConnStats)>,
-    Vec<(usize, std::thread::JoinHandle<ConnStats>)>,
+    Vec<(usize, ActorOutcome)>,
+    Vec<(usize, std::thread::JoinHandle<ActorOutcome>)>,
 ) {
-    let mut live: Vec<(usize, std::thread::JoinHandle<ConnStats>)> = Vec::new();
-    let mut reaped: Vec<(usize, ConnStats)> = Vec::new();
+    let mut live: Vec<(usize, std::thread::JoinHandle<ActorOutcome>)> = Vec::new();
+    let mut reaped: Vec<(usize, ActorOutcome)> = Vec::new();
     let mut next_slot = 0usize;
     for stream in listener.incoming() {
         // Reap exited actors: thread stacks are released at join time,
@@ -452,7 +577,10 @@ fn accept_loop(
         while i < live.len() {
             if live[i].1.is_finished() {
                 let (slot, actor) = live.swap_remove(i);
-                reaped.push((slot, actor.join().expect("connection actor must not panic")));
+                let outcome = actor
+                    .join()
+                    .unwrap_or_else(|payload| Err(panic_message(&*payload)));
+                reaped.push((slot, outcome));
             } else {
                 i += 1;
             }
@@ -483,8 +611,18 @@ fn accept_loop(
             std::thread::Builder::new()
                 .name("priosched-conn".into())
                 .spawn(move || {
-                    let stats =
-                        futures_executor::block_on(connection_actor(stream, handle, svc, exec));
+                    // Contain actor panics *inside* the thread: the
+                    // registry entry is released and the close is
+                    // announced even on a panic, so a failed connection
+                    // can neither leak its socket nor wedge
+                    // `wait_connections_closed` — and joining the thread
+                    // never re-raises.
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        futures_executor::block_on(connection_actor(
+                            stream, handle, svc, exec, config,
+                        ))
+                    }))
+                    .map_err(|payload| panic_message(&*payload));
                     // Release the registry entry (long-lived servers must
                     // not accumulate dead sockets), then announce.
                     ctl2.conns
@@ -492,7 +630,7 @@ fn accept_loop(
                         .unwrap_or_else(|p| p.into_inner())
                         .remove(&slot);
                     ctl2.note_closed();
-                    stats
+                    outcome
                 })
                 .expect("failed to spawn connection actor thread"),
         ));
@@ -509,24 +647,79 @@ async fn connection_actor(
     mut handle: AsyncIngestHandle<u64>,
     service: Arc<PoolService<u64>>,
     exec: Arc<CountdownExec>,
+    config: ServerConfig,
 ) -> ConnStats {
     /// Longest accepted request line. The no-unbounded-buffering promise
     /// must hold against a single newline-less flood too: past this, the
     /// connection is answered with `ERR` and closed (no way to resync).
     const MAX_LINE_BYTES: u64 = 64 * 1024;
     let mut stats = ConnStats::default();
+    let _ = stream.set_write_timeout(config.write_timeout);
+    // Deadlines poll with a short socket timeout instead of blocking
+    // forever in read(); with none configured the read stays fully
+    // blocking — zero CPU while idle, exactly as before.
+    let deadlines_on = config.read_timeout.is_some() || config.idle_timeout.is_some();
+    if deadlines_on {
+        let _ = stream.set_read_timeout(Some(deadline_tick(&config)));
+    }
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return stats,
     };
     let mut reader = std::io::Read::take(BufReader::new(stream), MAX_LINE_BYTES);
     let mut line = String::new();
+    let mut last_activity = Instant::now();
     loop {
         line.clear();
         reader.set_limit(MAX_LINE_BYTES);
-        match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => break, // EOF or connection reset
-            Ok(_) => {}
+        // How one request line's read ended.
+        enum ReadEnd {
+            /// A line (or the unterminated tail before EOF) arrived.
+            Line,
+            /// EOF or connection reset.
+            Eof,
+            /// A started line outlived `read_timeout`.
+            Deadline,
+            /// No request bytes for `idle_timeout` — reap quietly.
+            Idle,
+        }
+        let mut line_started: Option<Instant> = None;
+        let end = loop {
+            match reader.read_line(&mut line) {
+                Ok(0) => break ReadEnd::Eof,
+                Ok(_) => break ReadEnd::Line,
+                Err(e)
+                    if deadlines_on
+                        && matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) =>
+                {
+                    // Deadline tick. Partial bytes already read stay in
+                    // `line` across ticks (valid ASCII survives an errored
+                    // `read_line`) — only the clock advances here.
+                    let now = Instant::now();
+                    if !line.is_empty() {
+                        let started = *line_started.get_or_insert(now);
+                        if let Some(limit) = config.read_timeout {
+                            if now.duration_since(started) >= limit {
+                                break ReadEnd::Deadline;
+                            }
+                        }
+                    } else if let Some(limit) = config.idle_timeout {
+                        if now.duration_since(last_activity) >= limit {
+                            break ReadEnd::Idle;
+                        }
+                    }
+                }
+                Err(_) => break ReadEnd::Eof, // connection reset
+            }
+        };
+        match end {
+            ReadEnd::Line => last_activity = Instant::now(),
+            ReadEnd::Eof | ReadEnd::Idle => break,
+            ReadEnd::Deadline => {
+                stats.errors += 1;
+                let _ = writeln!(writer, "ERR read deadline exceeded");
+                break;
+            }
         }
         if !line.ends_with('\n') && reader.limit() == 0 {
             stats.errors += 1;
@@ -573,11 +766,12 @@ async fn connection_actor(
             }
             Ok(Request::Join) => {
                 stats.joins += 1;
-                if service.join_async().await {
-                    format!("DONE {}", exec.executed())
-                } else {
-                    stats.errors += 1;
-                    "ERR aborted".to_string()
+                match service.join_async().await {
+                    Ok(()) => format!("DONE {}", exec.executed()),
+                    Err(_aborted) => {
+                        stats.errors += 1;
+                        "ERR aborted".to_string()
+                    }
                 }
             }
             Ok(Request::Stats) => format!(
@@ -595,6 +789,18 @@ async fn connection_actor(
         }
     }
     stats
+}
+
+/// Poll granularity for deadline enforcement: a quarter of the smallest
+/// configured deadline, clamped to [2ms, 100ms] — prompt detection
+/// without a hot spin.
+fn deadline_tick(config: &ServerConfig) -> Duration {
+    let smallest = [config.read_timeout, config.idle_timeout]
+        .into_iter()
+        .flatten()
+        .min()
+        .unwrap_or(Duration::from_millis(400));
+    (smallest / 4).clamp(Duration::from_millis(2), Duration::from_millis(100))
 }
 
 /// Maps a payload-free [`priosched_core::SubmitError`] to its `ERR` line.
@@ -629,6 +835,9 @@ pub struct LoadReport {
     pub expected_executions: u64,
     /// Executions the server reported at `DONE`.
     pub executed: u64,
+    /// Requests re-sent after an `ERR full` rejection (bounded
+    /// exponential backoff; zero on an un-contended run).
+    pub retries: u64,
     /// Wall-clock time from first connect to `DONE`.
     pub elapsed: Duration,
 }
@@ -668,30 +877,58 @@ pub fn run_load(addr: SocketAddr, spec: &LoadSpec) -> std::io::Result<LoadReport
     let workers: Vec<_> = (0..spec.conns)
         .map(|conn| {
             let spec = *spec;
-            std::thread::spawn(move || -> std::io::Result<()> {
+            std::thread::spawn(move || -> std::io::Result<u64> {
+                /// Re-send attempts after `ERR full` before giving up.
+                const MAX_RETRIES: u32 = 8;
+                const BACKOFF_CAP: Duration = Duration::from_millis(64);
                 let stream = TcpStream::connect(addr)?;
                 let _ = stream.set_nodelay(true);
                 let mut writer = stream.try_clone()?;
                 let mut reader = BufReader::new(stream);
                 let mut reply = String::new();
-                let mut expect_reply =
-                    |reader: &mut BufReader<TcpStream>, prefix: &str| -> std::io::Result<()> {
+                let mut retries = 0u64;
+                // Sends `request`, expecting a `prefix` reply. With
+                // `retry_full`, an `ERR full` rejection (lanes saturated
+                // on a server not configured to pend) is re-sent with
+                // bounded exponential backoff instead of failing the whole
+                // run. Only scalar `SUBMIT`s opt in: a rejected `BATCH`
+                // may have been *partially* accepted, so a blind re-send
+                // would double-submit.
+                let mut request = |writer: &mut TcpStream,
+                                   reader: &mut BufReader<TcpStream>,
+                                   retries: &mut u64,
+                                   request: &str,
+                                   prefix: &str,
+                                   retry_full: bool|
+                 -> std::io::Result<()> {
+                    let mut backoff = Duration::from_millis(1);
+                    let mut attempts = 0u32;
+                    loop {
+                        writeln!(writer, "{request}")?;
                         reply.clear();
                         reader.read_line(&mut reply)?;
-                        if reply.trim_end().starts_with(prefix) {
-                            Ok(())
-                        } else {
-                            Err(Error::new(
-                                ErrorKind::InvalidData,
-                                format!("expected {prefix}, got {reply:?}"),
-                            ))
+                        let got = reply.trim_end();
+                        if got.starts_with(prefix) {
+                            return Ok(());
                         }
-                    };
+                        if retry_full && got == "ERR full" && attempts < MAX_RETRIES {
+                            attempts += 1;
+                            *retries += 1;
+                            std::thread::sleep(backoff);
+                            backoff = (backoff * 2).min(BACKOFF_CAP);
+                            continue;
+                        }
+                        return Err(Error::new(
+                            ErrorKind::InvalidData,
+                            format!("expected {prefix}, got {reply:?}"),
+                        ));
+                    }
+                };
                 if spec.batch == 0 {
                     for i in 0..spec.per_conn {
                         let v = load_value(conn, i);
-                        writeln!(writer, "SUBMIT {v} {} {v}", spec.k)?;
-                        expect_reply(&mut reader, "OK")?;
+                        let line = format!("SUBMIT {v} {} {v}", spec.k);
+                        request(&mut writer, &mut reader, &mut retries, &line, "OK", true)?;
                     }
                 } else {
                     let mut i = 0;
@@ -703,18 +940,19 @@ pub fn run_load(addr: SocketAddr, spec: &LoadSpec) -> std::io::Result<LoadReport
                                 format!("{v}:{v}")
                             })
                             .collect();
-                        writeln!(writer, "BATCH {} {}", spec.k, pairs.join(" "))?;
-                        expect_reply(&mut reader, "OK")?;
+                        let line = format!("BATCH {} {}", spec.k, pairs.join(" "));
+                        request(&mut writer, &mut reader, &mut retries, &line, "OK", false)?;
                         i += n;
                     }
                 }
-                writeln!(writer, "QUIT")?;
-                expect_reply(&mut reader, "BYE")
+                request(&mut writer, &mut reader, &mut retries, "QUIT", "BYE", false)?;
+                Ok(retries)
             })
         })
         .collect();
+    let mut retries = 0u64;
     for w in workers {
-        w.join().expect("load client thread must not panic")?;
+        retries += w.join().expect("load client thread must not panic")?;
     }
     // All submissions accepted; one control connection awaits the drain.
     let stream = TcpStream::connect(addr)?;
@@ -739,6 +977,7 @@ pub fn run_load(addr: SocketAddr, spec: &LoadSpec) -> std::io::Result<LoadReport
         submitted,
         expected_executions: expected,
         executed,
+        retries,
         elapsed: start.elapsed(),
     })
 }

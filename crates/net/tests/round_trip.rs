@@ -21,6 +21,7 @@ fn server(kind: PoolKind, places: usize, lane_capacity: Option<usize>) -> Server
             places,
             k: 32,
             lane_capacity,
+            ..ServerConfig::default()
         },
     )
     .expect("bind loopback")
@@ -182,8 +183,13 @@ fn shutdown_drains_in_flight_work_instead_of_aborting() {
         }
     }
     // No JOIN, no QUIT: shutdown with live connections and queued chains.
-    let ServeSummary { run, connections } = server.shutdown();
+    let ServeSummary {
+        run,
+        connections,
+        failures,
+    } = server.shutdown();
     assert_eq!(connections.len(), 3);
+    assert!(failures.is_empty(), "healthy run: {failures:?}");
     assert_eq!(
         run.executed, expected,
         "graceful shutdown must drain accepted work to quiescence"
@@ -208,6 +214,76 @@ fn server_drop_is_graceful_too() {
         41,
         "drop must drain the accepted chain, not abort it"
     );
+}
+
+/// Idle reaping: with `idle_timeout` set, a connection that goes silent
+/// between requests is closed by the server on its own — no client
+/// action, no shutdown — and the reap is housekeeping, not a failure.
+#[test]
+fn idle_connections_are_reaped_after_the_deadline() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            kind: PoolKind::Hybrid,
+            places: 2,
+            idle_timeout: Some(Duration::from_millis(60)),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let mut c = Client::connect(&server);
+    assert_eq!(c.request("SUBMIT 3 32 3"), "OK"); // activity, then silence
+                                                  // The reaper closes the idle socket; the actor exits and announces
+                                                  // the close — observable without polling.
+    server.wait_connections_closed(1);
+    let mut reply = String::new();
+    match c.reader.read_line(&mut reply) {
+        Ok(0) | Err(_) => {}
+        Ok(n) => panic!("expected reaped connection, read {n} bytes: {reply:?}"),
+    }
+    let summary = server.shutdown();
+    assert!(summary.healthy(), "idle reap is not a failure: {summary:?}");
+    assert_eq!(summary.run.executed, 4, "accepted work still drained");
+    assert_eq!(summary.connections[0].errors, 0);
+}
+
+/// Read deadline: a half-open peer that sends part of a request and
+/// stalls gets `ERR read deadline exceeded` and a disconnect — it cannot
+/// pin an actor (and its producer handle) forever. A well-behaved
+/// connection on the same server is untouched.
+#[test]
+fn half_open_request_hits_the_read_deadline() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            kind: PoolKind::WorkStealing,
+            places: 2,
+            read_timeout: Some(Duration::from_millis(60)),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let mut ok = Client::connect(&server);
+    assert_eq!(ok.request("PING"), "PONG");
+    let stream = TcpStream::connect(server.local_addr()).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    write!(writer, "SUBMIT 1 32").expect("partial line"); // no newline, then stall
+    let mut reader = BufReader::new(stream);
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("deadline reply");
+    assert_eq!(reply.trim_end(), "ERR read deadline exceeded");
+    reply.clear();
+    match reader.read_line(&mut reply) {
+        Ok(0) | Err(_) => {}
+        Ok(n) => panic!("server must close the stalled connection, read {n} more bytes"),
+    }
+    // The stalled peer never disturbed the healthy connection.
+    assert_eq!(ok.request("SUBMIT 1 32 1"), "OK");
+    assert_eq!(ok.request("QUIT"), "BYE");
+    let summary = server.shutdown();
+    assert!(summary.failures.is_empty(), "{summary:?}");
+    let errors: u64 = summary.connections.iter().map(|c| c.errors).sum();
+    assert_eq!(errors, 1, "exactly the deadline error: {summary:?}");
 }
 
 /// The malformed-CLI satellite: the `priosched-serve` binary mirrors

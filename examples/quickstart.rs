@@ -84,14 +84,14 @@ fn service_demo(places: usize) {
         }
     });
 
-    service.join(); // drained — but the workers are still running (parked)
+    service.join().expect("no task panics"); // drained — workers still running (parked)
     let after_round_1 = exec.executed.load(Ordering::Relaxed);
 
     // A second round on the same pool: the submission wakes the workers.
     service.submit(0, K, (0u64, 99)).expect("service is live");
-    service.join();
+    service.join().expect("no task panics");
 
-    let stats = service.shutdown();
+    let stats = service.shutdown().expect("clean shutdown");
     let tree: u64 = (0..=MAX_DEPTH).map(|d| FANOUT.pow(d as u32)).sum();
     assert_eq!(stats.executed, 3 * tree + 2 * 8);
     println!(
@@ -139,9 +139,9 @@ fn async_demo(places: usize) {
         });
     }
     pool.run(); // both producers complete (their handles drop here)
-    assert!(futures_executor::block_on(service.join_async()));
+    futures_executor::block_on(service.join_async()).expect("no task panics");
 
-    let stats = service.shutdown();
+    let stats = service.shutdown().expect("clean shutdown");
     let tree: u64 = (0..=MAX_DEPTH).map(|d| FANOUT.pow(d as u32)).sum();
     assert_eq!(stats.executed, 2 * tree + 2 * 8);
     println!(
