@@ -2,9 +2,11 @@
 //! Figures 4–5.
 //!
 //! Single-threaded cost per op for each structure (pure overhead ranking),
-//! a small contended producer/consumer scenario, and the scalar-vs-batched
+//! a small contended producer/consumer scenario, the scalar-vs-batched
 //! comparison for the batch API (`push_batch`/`try_pop_batch`) at batch
-//! sizes 1/8/32/128.
+//! sizes 1/8/32/128, and the flat-combining A/B on the structural pool
+//! (`ds_combine`: delegation vs plain mutex, throughput plus per-op
+//! p50/p99/p999 from an HDR-style histogram).
 //!
 //! To record a JSON baseline (e.g. the committed `BENCH_batch.json`):
 //! `CRITERION_JSON_OUT=BENCH_batch.json cargo bench --bench ds_throughput -- ds_batch`
@@ -15,9 +17,10 @@
 //! comparable (absolute numbers shift slightly vs pre-facade baselines).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use priosched_bench::latency::LatencyHist;
 use priosched_core::{AnyPool, PoolHandle, PoolKind, PoolParams, TaskPool};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 const OPS: u64 = 10_000;
 
@@ -210,11 +213,104 @@ fn bench_batch_contended(c: &mut Criterion) {
     g.finish();
 }
 
+/// Structural pool with the combining toggle explicit; everything else as
+/// in [`pool`].
+fn combine_pool(places: usize, combine: bool) -> Arc<AnyPool<u64>> {
+    Arc::new(PoolKind::Structural.build(places, PoolParams::with_k(64).with_combining(combine)))
+}
+
+/// [`contended_cycle`] with every push/pop individually timed into a
+/// per-thread [`LatencyHist`], merged across threads at the end. The
+/// `Instant` pair adds a fixed cost to every op, identical across modes,
+/// so combining-vs-mutex percentile *comparisons* stay fair even though
+/// absolute numbers shift slightly.
+fn contended_cycle_timed(pool: Arc<AnyPool<u64>>, threads: usize) -> LatencyHist {
+    let merged = Mutex::new(LatencyHist::new());
+    let per = OPS / threads as u64;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let pool = Arc::clone(&pool);
+            let merged = &merged;
+            s.spawn(move || {
+                let mut h = pool.handle(t);
+                let mut hist = LatencyHist::new();
+                for i in 0..per {
+                    let t0 = Instant::now();
+                    h.push(prio_of(i), 64, i);
+                    hist.record_duration(t0.elapsed());
+                    if i % 2 == 1 {
+                        let t0 = Instant::now();
+                        let got = h.pop();
+                        hist.record_duration(t0.elapsed());
+                        criterion::black_box(got);
+                    }
+                }
+                loop {
+                    let t0 = Instant::now();
+                    let got = h.pop();
+                    if got.is_none() {
+                        break;
+                    }
+                    hist.record_duration(t0.elapsed());
+                }
+                merged.lock().unwrap().merge(&hist);
+            });
+        }
+    });
+    merged.into_inner().unwrap()
+}
+
+/// Flat combining vs the plain shared-heap mutex on the structural pool —
+/// the A/B the combiner must win (or at worst tie, at 1 place where the
+/// fast path keeps it off the slot protocol entirely).
+///
+/// Two arms per (mode × places) cell: wall-clock throughput via the
+/// normal bencher, and self-measured per-op latency percentiles
+/// (`*_lat/p*` ids carry `p50_ns`/`p99_ns`/`p999_ns` in the JSON dump).
+fn bench_combine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ds_combine");
+    g.throughput(Throughput::Elements(2 * OPS));
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    let places_sweep = [1usize, 2, 4];
+    for &places in &places_sweep {
+        for (mode, combine) in [("combine", true), ("mutex", false)] {
+            g.bench_with_input(
+                BenchmarkId::new(mode, format!("p{places}")),
+                &places,
+                |b, &p| b.iter(|| contended_cycle(combine_pool(p, combine), p)),
+            );
+        }
+    }
+    for &places in &places_sweep {
+        for (mode, combine) in [("combine", true), ("mutex", false)] {
+            let mut hist = LatencyHist::new();
+            for _ in 0..3 {
+                hist.merge(&contended_cycle_timed(
+                    combine_pool(places, combine),
+                    places,
+                ));
+            }
+            g.report_with_percentiles(
+                format!("{mode}_lat/p{places}"),
+                hist.mean_ns(),
+                hist.min_ns() as f64,
+                hist.max_ns() as f64,
+                hist.p50() as f64,
+                hist.p99() as f64,
+                hist.p999() as f64,
+            );
+        }
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_single_thread,
     bench_contended,
     bench_batch_single_thread,
-    bench_batch_contended
+    bench_batch_contended,
+    bench_combine
 );
 criterion_main!(benches);

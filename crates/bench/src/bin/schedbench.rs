@@ -10,6 +10,7 @@
 //! schedbench [--smoke] [--workloads sssp,bfs,cholesky,knapsack,mo_sssp,mst]
 //!            [--kinds work_stealing,centralized,hybrid,structural]
 //!            [--places 1,2,4] [--k 512] [--chunks 0] [--reps 3]
+//!            [--combining on,off] [--oplat OPS]
 //!            [--ingest PRODUCERSxCHUNK,…] [--lane-cap N,…]
 //!            [--net CONNSxPER_CONN,…] [--out FILE.json]
 //! ```
@@ -44,6 +45,19 @@
 //!   identical on a same-seed repeat. Emits `schedbench_chaos` records
 //!   carrying the failure-mode counters. Contradicts `--net` and
 //!   `--ingest` (usage error).
+//! * `--combining on,off` A/Bs the structural pool's shared-queue
+//!   backend: `on` routes overflow/pop/raid traffic through the flat
+//!   combiner (the default), `off` through the plain mutex. Off-cells
+//!   only apply to the structural kind (other structures ignore the
+//!   toggle and would produce duplicate rows); their record ids carry a
+//!   `_nocomb` suffix.
+//! * `--oplat OPS` switches to the per-op latency sweep: `places`
+//!   threads per cell each run OPS push/pop cycles against the raw pool
+//!   (no workload, no oracle), every op individually timed into an
+//!   HDR-style histogram ([`priosched_bench::latency::LatencyHist`]);
+//!   records land in group `schedbench_oplat` with `p50_ns`/`p99_ns`/
+//!   `p999_ns` fields — the committed `BENCH_combine.json` baseline.
+//!   Mutually exclusive with `--ingest`/`--net`/`--chaos`.
 //! * Malformed flags are **usage errors**: the sweep prints a diagnostic
 //!   to stderr and exits with code 2 instead of panicking.
 //! * Any oracle mismatch aborts with a nonzero exit code.
@@ -60,7 +74,8 @@ use std::path::PathBuf;
 const WORKLOADS: [&str; 6] = ["sssp", "bfs", "cholesky", "knapsack", "mo_sssp", "mst"];
 
 const USAGE: &str = "usage: schedbench [--smoke] [--workloads LIST] [--kinds LIST] \
-     [--places LIST] [--k LIST] [--chunks LIST] [--ingest PxC,…] \
+     [--places LIST] [--k LIST] [--chunks LIST] [--combining on,off] \
+     [--oplat OPS] [--ingest PxC,…] \
      [--lane-cap N,… (0 = unbounded; requires --ingest or --net)] \
      [--net CxS,…] [--chaos seed=N] [--reps N] [--out FILE]";
 
@@ -109,6 +124,12 @@ struct Args {
     /// Lane-capacity axis for streamed cells; `None` = unbounded (the `0`
     /// spelling on the command line).
     lane_caps: Vec<Option<usize>>,
+    /// `--combining` axis: shared-queue backend for the structural pool
+    /// (`true` = flat combiner, `false` = plain mutex). Off-cells apply
+    /// only to the structural kind.
+    combining: Vec<bool>,
+    /// `--oplat OPS`: per-op latency sweep with OPS cycles per thread.
+    oplat: Option<u64>,
     reps: usize,
     out: Option<PathBuf>,
 }
@@ -143,6 +164,8 @@ impl Args {
             net: Vec::new(),
             chaos: None,
             lane_caps: vec![None],
+            combining: vec![true],
+            oplat: None,
             reps: 3,
             out: None,
         };
@@ -198,6 +221,26 @@ impl Args {
                         return Err("--lane-cap: expected at least one capacity".into());
                     }
                 }
+                "--combining" => {
+                    cfg.combining = parse_list::<String>("--combining", take("--combining")?)?
+                        .into_iter()
+                        .map(|v| match v.as_str() {
+                            "on" | "true" => Ok(true),
+                            "off" | "false" => Ok(false),
+                            other => Err(format!("--combining: expected on/off, got {other:?}")),
+                        })
+                        .collect::<Result<Vec<bool>, String>>()?;
+                    if cfg.combining.is_empty() {
+                        return Err("--combining: expected at least one of on/off".into());
+                    }
+                }
+                "--oplat" => {
+                    cfg.oplat = Some(
+                        take("--oplat")?
+                            .parse()
+                            .map_err(|e| format!("--oplat: {e}"))?,
+                    );
+                }
                 "--reps" => {
                     cfg.reps = take("--reps")?
                         .parse()
@@ -235,6 +278,23 @@ impl Args {
                  contradicts --net/--ingest; pass one"
                     .into(),
             );
+        }
+        if !cfg.combining.contains(&true) && !cfg.kinds.contains(&PoolKind::Structural) {
+            return Err("--combining off only affects the structural pool; include \
+                 structural in --kinds or add on"
+                .into());
+        }
+        if let Some(ops) = cfg.oplat {
+            if ops == 0 {
+                return Err("--oplat: ops per thread must be positive".into());
+            }
+            if !cfg.net.is_empty() || !cfg.ingest.is_empty() || cfg.chaos.is_some() {
+                return Err(
+                    "--oplat times raw pool ops and contradicts --net/--ingest/--chaos; \
+                     pass one"
+                        .into(),
+                );
+            }
         }
         Ok(Some(cfg))
     }
@@ -288,13 +348,15 @@ fn make_workload(name: &str, smoke: bool, chunk: usize) -> Option<Box<dyn DynWor
 
 /// One aggregated sweep cell in the `BENCH_batch.json` record format
 /// (the shape itself is defined once, in `priosched_workloads`). Streamed
-/// cells extend the id with an `_iPRODUCERSxCHUNK` tag, and bounded-lane
-/// cells with `_lcCAP`.
+/// cells extend the id with an `_iPRODUCERSxCHUNK` tag, bounded-lane
+/// cells with `_lcCAP`, and mutex-backend (combining-off) cells with
+/// `_nocomb`.
 fn json_record(
     reports: &[WorkloadReport],
     chunk: usize,
     ingest: Option<IngestCell>,
     lane_cap: Option<usize>,
+    combining: bool,
 ) -> String {
     let mut suffix = if chunk > 0 {
         format!("_c{chunk}")
@@ -307,7 +369,130 @@ fn json_record(
     if let Some(cap) = lane_cap {
         suffix.push_str(&format!("_lc{cap}"));
     }
+    if !combining {
+        suffix.push_str("_nocomb");
+    }
     bench_record(reports, &suffix)
+}
+
+/// Per-op latency cell: `places` threads, each timing `ops` push/pop
+/// cycles (push, then every other iteration a pop, then a drain) into a
+/// thread-local histogram; merged at the end. Pseudo-random priorities
+/// keep the heap honest.
+fn oplat_cell(
+    kind: PoolKind,
+    places: usize,
+    params: PoolParams,
+    ops: u64,
+) -> priosched_bench::latency::LatencyHist {
+    use priosched_bench::latency::LatencyHist;
+    use priosched_core::{PoolHandle, TaskPool};
+    use std::time::Instant;
+    let pool = std::sync::Arc::new(kind.build(places, params));
+    let merged = std::sync::Mutex::new(LatencyHist::new());
+    std::thread::scope(|s| {
+        for t in 0..places {
+            let pool = std::sync::Arc::clone(&pool);
+            let merged = &merged;
+            s.spawn(move || {
+                let mut h = pool.handle(t);
+                let mut hist = LatencyHist::new();
+                for i in 0..ops {
+                    let prio = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+                    let t0 = Instant::now();
+                    h.push(prio, 64, i);
+                    hist.record_duration(t0.elapsed());
+                    if i % 2 == 1 {
+                        let t0 = Instant::now();
+                        let got = h.pop();
+                        hist.record_duration(t0.elapsed());
+                        std::hint::black_box(got);
+                    }
+                }
+                loop {
+                    let t0 = Instant::now();
+                    let got = h.pop();
+                    if got.is_none() {
+                        break;
+                    }
+                    hist.record_duration(t0.elapsed());
+                }
+                merged.lock().unwrap().merge(&hist);
+            });
+        }
+    });
+    merged.into_inner().unwrap()
+}
+
+/// Runs the `--oplat` sweep: kind × places × k × combining, each cell a
+/// raw-pool push/pop latency measurement. Emits `schedbench_oplat`
+/// records carrying p50/p99/p999 — the `BENCH_combine.json` generator.
+fn run_oplat_sweep(args: &Args, ops: u64) -> Vec<String> {
+    let mut records = Vec::new();
+    println!(
+        "{:<14} {:>2} {:>6} {:>6} | {:>9} {:>9} {:>9} {:>9} {:>10}",
+        "structure", "P", "k", "queue", "mean", "p50", "p99", "p999", "ops"
+    );
+    for &kind in &args.kinds {
+        for &places in &args.places {
+            for &k in &args.ks {
+                for &comb in &args.combining {
+                    // The toggle only changes the structural pool; a
+                    // combining-off cell for any other kind would just
+                    // duplicate its combining-on row.
+                    if !comb && kind != PoolKind::Structural {
+                        continue;
+                    }
+                    let params = PoolParams::with_k(k).with_combining(comb);
+                    let hist = oplat_cell(kind, places, params, ops);
+                    let queue = if kind != PoolKind::Structural {
+                        "-"
+                    } else if comb {
+                        "comb"
+                    } else {
+                        "mutex"
+                    };
+                    println!(
+                        "{:<14} {:>2} {:>6} {:>6} | {:>7.1}ns {:>7}ns {:>7}ns {:>7}ns {:>10}",
+                        kind.label(),
+                        places,
+                        k,
+                        queue,
+                        hist.mean_ns(),
+                        hist.p50(),
+                        hist.p99(),
+                        hist.p999(),
+                        hist.count(),
+                    );
+                    let suffix = if kind != PoolKind::Structural {
+                        ""
+                    } else if comb {
+                        "_comb"
+                    } else {
+                        "_nocomb"
+                    };
+                    records.push(format!(
+                        "{{\"group\": \"schedbench_oplat\", \"id\": \"{}/p{}_k{}{}\", \
+                         \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \
+                         \"elements\": {}, \"p50_ns\": {:.1}, \"p99_ns\": {:.1}, \
+                         \"p999_ns\": {:.1}}}",
+                        kind.id(),
+                        places,
+                        k,
+                        suffix,
+                        hist.mean_ns(),
+                        hist.min_ns() as f64,
+                        hist.max_ns() as f64,
+                        hist.count(),
+                        hist.p50() as f64,
+                        hist.p99() as f64,
+                        hist.p999() as f64,
+                    ));
+                }
+            }
+        }
+    }
+    records
 }
 
 /// Runs the `--net` sweep: a fresh in-process `priosched-serve` server
@@ -572,6 +757,24 @@ fn main() {
         );
         return;
     }
+    if let Some(ops) = args.oplat {
+        println!(
+            "schedbench --oplat: {} kind(s) × places {:?} × k {:?} × combining {:?}, \
+             {ops} push/pop cycles per thread",
+            args.kinds.len(),
+            args.places,
+            args.ks,
+            args.combining
+                .iter()
+                .map(|&c| if c { "on" } else { "off" })
+                .collect::<Vec<_>>(),
+        );
+        println!("host: {cores} hardware thread(s)\n");
+        let records = run_oplat_sweep(&args, ops);
+        write_records(args.out.as_deref(), &records);
+        println!("\n{} per-op latency cells measured", records.len());
+        return;
+    }
     println!(
         "schedbench: {} workload(s) × {} kind(s) × places {:?} × k {:?} × chunks {:?}{}, {} rep(s)",
         args.workloads.len(),
@@ -630,50 +833,67 @@ fn main() {
                 for &places in &args.places {
                     for &k in &args.ks {
                         for &(mode, lane_cap) in &modes {
-                            let params = PoolParams::with_k(k).with_lane_capacity(lane_cap);
-                            let reports: Vec<WorkloadReport> = (0..args.reps)
-                                .map(|_| match mode {
-                                    None => workload.run(kind, places, params),
-                                    Some(cell) => workload.run_streamed(
-                                        kind,
-                                        places,
-                                        params,
-                                        cell.producers,
-                                        cell.chunk,
-                                    ),
-                                })
-                                .collect();
-                            let mean_ms = reports
-                                .iter()
-                                .map(|r| r.elapsed.as_secs_f64() * 1e3)
-                                .sum::<f64>()
-                                / reports.len() as f64;
-                            let bad = reports.iter().find(|r| !r.verified());
-                            println!(
-                                "{:<10} {:<14} {:>2} {:>6} {:>6} {:>7} {:>5} | {:>9.3}ms {:>9} {:>7}  {}",
-                                name,
-                                kind.label(),
-                                places,
-                                k,
-                                chunk,
-                                match mode {
-                                    None => "-".to_string(),
-                                    Some(cell) => format!("{}x{}", cell.producers, cell.chunk),
-                                },
-                                lane_cap.map_or("-".to_string(), |c| c.to_string()),
-                                mean_ms,
-                                reports[0].executed,
-                                reports[0].dead,
-                                match bad {
-                                    None => "ok".to_string(),
-                                    Some(r) =>
-                                        format!("MISMATCH: {}", r.verify.as_ref().unwrap_err()),
+                            for &comb in &args.combining {
+                                // The combining toggle only changes the
+                                // structural pool; off-cells elsewhere
+                                // would duplicate the on-row.
+                                if !comb && kind != PoolKind::Structural {
+                                    continue;
                                 }
-                            );
-                            if bad.is_some() {
-                                failures += 1;
+                                let params = PoolParams::with_k(k)
+                                    .with_lane_capacity(lane_cap)
+                                    .with_combining(comb);
+                                let reports: Vec<WorkloadReport> = (0..args.reps)
+                                    .map(|_| match mode {
+                                        None => workload.run(kind, places, params),
+                                        Some(cell) => workload.run_streamed(
+                                            kind,
+                                            places,
+                                            params,
+                                            cell.producers,
+                                            cell.chunk,
+                                        ),
+                                    })
+                                    .collect();
+                                let mean_ms = reports
+                                    .iter()
+                                    .map(|r| r.elapsed.as_secs_f64() * 1e3)
+                                    .sum::<f64>()
+                                    / reports.len() as f64;
+                                let bad = reports.iter().find(|r| !r.verified());
+                                println!(
+                                    "{:<10} {:<14} {:>2} {:>6} {:>6} {:>7} {:>5} | {:>9.3}ms {:>9} {:>7}  {}",
+                                    name,
+                                    if comb {
+                                        kind.label().to_string()
+                                    } else {
+                                        format!("{}+mtx", kind.label())
+                                    },
+                                    places,
+                                    k,
+                                    chunk,
+                                    match mode {
+                                        None => "-".to_string(),
+                                        Some(cell) =>
+                                            format!("{}x{}", cell.producers, cell.chunk),
+                                    },
+                                    lane_cap.map_or("-".to_string(), |c| c.to_string()),
+                                    mean_ms,
+                                    reports[0].executed,
+                                    reports[0].dead,
+                                    match bad {
+                                        None => "ok".to_string(),
+                                        Some(r) => format!(
+                                            "MISMATCH: {}",
+                                            r.verify.as_ref().unwrap_err()
+                                        ),
+                                    }
+                                );
+                                if bad.is_some() {
+                                    failures += 1;
+                                }
+                                records.push(json_record(&reports, chunk, mode, lane_cap, comb));
                             }
-                            records.push(json_record(&reports, chunk, mode, lane_cap));
                         }
                     }
                 }
@@ -813,6 +1033,49 @@ mod tests {
         assert!(Args::parse(&argv(&["--chaos", "seed=x"])).is_err());
         assert!(Args::parse(&argv(&["--chaos", "seven"])).is_err());
         assert!(Args::parse(&argv(&["--chaos"])).is_err());
+    }
+
+    #[test]
+    fn combining_axis_parses_and_guards() {
+        // Default: combiner on only.
+        let args = Args::parse(&argv(&[])).unwrap().unwrap();
+        assert_eq!(args.combining, vec![true]);
+        // Both spellings of the A/B.
+        let args = Args::parse(&argv(&["--combining", "on,off"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(args.combining, vec![true, false]);
+        let args = Args::parse(&argv(&["--combining", "false"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(args.combining, vec![false]);
+        // Junk values and empty lists are usage errors.
+        assert!(Args::parse(&argv(&["--combining", "maybe"])).is_err());
+        assert!(Args::parse(&argv(&["--combining", ""])).is_err());
+        // combining-off without the structural kind is a usage error —
+        // the toggle would affect nothing.
+        let err =
+            Args::parse(&argv(&["--combining", "off", "--kinds", "work_stealing"])).unwrap_err();
+        assert!(err.contains("structural"), "{err}");
+    }
+
+    #[test]
+    fn oplat_parses_and_guards() {
+        let args = Args::parse(&argv(&["--oplat", "5000"])).unwrap().unwrap();
+        assert_eq!(args.oplat, Some(5000));
+        assert!(Args::parse(&argv(&["--oplat", "0"])).is_err(), "zero ops");
+        assert!(Args::parse(&argv(&["--oplat", "lots"])).is_err());
+        assert!(Args::parse(&argv(&["--oplat"])).is_err());
+        // Its own sweep: contradicts the streamed/net/chaos modes.
+        for conflict in [
+            vec!["--oplat", "100", "--ingest", "2x8"],
+            vec!["--oplat", "100", "--net", "2x8"],
+            vec!["--oplat", "100", "--chaos", "seed=1"],
+        ] {
+            let err =
+                Args::parse(&argv(&conflict)).expect_err(&format!("{conflict:?} must be rejected"));
+            assert!(err.contains("--oplat"), "{err}");
+        }
     }
 
     #[test]

@@ -26,6 +26,7 @@ use std::io::Write;
 use std::path::PathBuf;
 
 pub mod chaos;
+pub mod latency;
 
 /// Seed base for the replicated graphs: graph `i` uses `GRAPH_SEED_BASE+i`,
 /// identical across every figure so all experiments see the same graphs

@@ -178,6 +178,43 @@
 //! builds the `priosched-serve` TCP frontend on exactly this surface:
 //! one connection actor per socket, each owning an async handle.
 //!
+//! # Delegation combining
+//!
+//! The structural pool's shared queue — one heap crossed by every
+//! overflow push, shared pop, and raid — is, by default, accessed through
+//! the flat-combining layer in [`combine`] rather than a plain mutex
+//! (toggle: [`PoolParams::combine`] / [`PoolBuilder::combining`]; the
+//! mutex path stays selectable for A/B). The protocol:
+//!
+//! * each place owns one cache-padded **publication record** (op cell +
+//!   response cell + `EMPTY → PUBLISHED → DONE` state word + a
+//!   [`park::ParkSlot`]);
+//! * an accessing place first `try_lock`s the **combiner lock**; on
+//!   success it applies its op directly and then runs **combining
+//!   passes**, walking all records and executing every published op
+//!   back-to-back against the sequential heap — the heap's cache lines
+//!   stay put while the operations travel, which is the whole trick;
+//! * on failure it publishes its op and waits: spin briefly, re-try the
+//!   lock, then park on the record's [`park::ParkSlot`] via the same
+//!   register → re-check → park protocol as every other sleeper in the
+//!   crate — bounded by [`combine::PARK_TIMEOUT`], so the deliberately
+//!   unfenced post-unlock wake-walk (see [`combine`]'s module docs) can
+//!   stay off the uncontended fast path's cost.
+//!
+//! A combiner's tenure is **bounded** (passes per lock acquisition,
+//! [`combine::Combiner::max_passes`]) so one place is never stuck
+//! combining for a queue-length of others — when the bound trips, the
+//! leaving combiner unlocks first and then wakes every still-published
+//! waiter, one of which takes the lock over. Responses are **written
+//! before** the `DONE` flip and the wake: the wake carries no data, so a
+//! woken waiter must be able to trust that observing `DONE` (acquire)
+//! means its response cell is populated — waking earlier would at best
+//! re-park the loser and at worst hand it an empty cell. Combiner
+//! telemetry (passes, ops executed while combining, max ops per pass,
+//! parks) lands on [`stats::PlaceStats`] and aggregates into
+//! [`RunStats`]. The combiner is generic over the protected structure
+//! ([`combine::CombineOp`]), so the hybrid global list can adopt it next.
+//!
 //! # Failure handling
 //!
 //! A task's `execute` may panic; what happens next is the
@@ -242,6 +279,7 @@
 
 pub mod async_ingest;
 pub mod centralized;
+pub mod combine;
 pub mod facade;
 pub mod garray;
 pub mod hybrid;
@@ -260,6 +298,7 @@ pub mod workstealing;
 
 pub use async_ingest::{AsyncIngestHandle, JoinFuture, SubmitBatchFuture, SubmitFuture};
 pub use centralized::CentralizedKPriority;
+pub use combine::{CombineOp, CombineStats, Combiner};
 pub use facade::{run_on_kind, run_stream_on_kind, AnyHandle, AnyPool, PoolBuilder};
 pub use hybrid::HybridKPriority;
 pub use ingest::{IngestHandle, IngressLanes, SubmitError};

@@ -133,6 +133,11 @@ pub struct PoolParams {
     /// What happens when a task panics — see [`FaultPolicy`]. Defaults to
     /// [`FaultPolicy::AbortRun`], the historical behavior.
     pub fault_policy: FaultPolicy,
+    /// Whether the structural pool delegates its shared-queue accesses
+    /// through the flat combiner (`priosched_core::combine`). Defaults to
+    /// `true`; `false` preserves the plain-mutex path for A/B comparison.
+    /// Ignored by the other structures (until they grow combining too).
+    pub combine: bool,
 }
 
 /// The paper's default relaxation parameter (k = 512, found to be a good
@@ -149,6 +154,7 @@ impl Default for PoolParams {
             kmax: DEFAULT_KMAX,
             lane_capacity: None,
             fault_policy: FaultPolicy::AbortRun,
+            combine: true,
         }
     }
 }
@@ -163,6 +169,7 @@ impl PoolParams {
             kmax: (k.min(u32::MAX as usize) as u32).max(DEFAULT_KMAX),
             lane_capacity: None,
             fault_policy: FaultPolicy::AbortRun,
+            combine: true,
         }
     }
 
@@ -170,6 +177,13 @@ impl PoolParams {
     /// [`PoolParams::lane_capacity`]).
     pub fn with_lane_capacity(mut self, capacity: Option<usize>) -> Self {
         self.lane_capacity = capacity;
+        self
+    }
+
+    /// The same parameters with flat combining toggled (see
+    /// [`PoolParams::combine`]).
+    pub fn with_combining(mut self, combine: bool) -> Self {
+        self.combine = combine;
         self
     }
 
@@ -324,6 +338,10 @@ mod tests {
         let p = PoolParams::default();
         assert_eq!(p.k, 512);
         assert_eq!(p.kmax, 512);
+        // Flat combining is the default shared-queue mode; the mutex path
+        // stays reachable for A/B.
+        assert!(p.combine);
+        assert!(!p.with_combining(false).combine);
         // with_k keeps kmax wide enough to admit the requested k.
         assert_eq!(PoolParams::with_k(8).kmax, 512);
         assert_eq!(PoolParams::with_k(8192).kmax, 8192);

@@ -29,10 +29,23 @@ pub struct PlaceStats {
     pub probe_hits: u64,
     /// Global-array/global-list entries ingested into the local queue.
     pub ingested: u64,
+    /// Flat-combining passes this place ran that served at least one
+    /// delegated op (structural, combining on).
+    pub combine_passes: u64,
+    /// Shared-queue ops this place executed while holding the combiner
+    /// lock — its own plus delegated ones. `combine_ops / combine_passes`
+    /// approximates the ops-per-pass mean.
+    pub combine_ops: u64,
+    /// Most delegated ops this place served in a single combining pass.
+    /// Aggregates with `max`, not `+`.
+    pub combine_pass_max: u64,
+    /// Times this place parked waiting for a combiner response.
+    pub combine_parks: u64,
 }
 
 impl PlaceStats {
-    /// Element-wise sum.
+    /// Element-wise sum — except [`PlaceStats::combine_pass_max`], which
+    /// takes the maximum (it is a high-water mark, not a count).
     pub fn merge(&mut self, other: &PlaceStats) {
         self.pushes += other.pushes;
         self.pops += other.pops;
@@ -43,6 +56,10 @@ impl PlaceStats {
         self.publishes += other.publishes;
         self.probe_hits += other.probe_hits;
         self.ingested += other.ingested;
+        self.combine_passes += other.combine_passes;
+        self.combine_ops += other.combine_ops;
+        self.combine_pass_max = self.combine_pass_max.max(other.combine_pass_max);
+        self.combine_parks += other.combine_parks;
     }
 }
 
@@ -62,11 +79,36 @@ mod tests {
             publishes: 7,
             probe_hits: 8,
             ingested: 9,
+            combine_passes: 10,
+            combine_ops: 11,
+            combine_pass_max: 12,
+            combine_parks: 13,
         };
         let b = a;
         a.merge(&b);
         assert_eq!(a.pushes, 2);
         assert_eq!(a.pops, 4);
         assert_eq!(a.ingested, 18);
+        assert_eq!(a.combine_passes, 20);
+        assert_eq!(a.combine_ops, 22);
+        assert_eq!(a.combine_parks, 26);
+    }
+
+    #[test]
+    fn merge_takes_max_of_pass_high_water_mark() {
+        let mut a = PlaceStats {
+            combine_pass_max: 3,
+            ..PlaceStats::default()
+        };
+        a.merge(&PlaceStats {
+            combine_pass_max: 7,
+            ..PlaceStats::default()
+        });
+        assert_eq!(a.combine_pass_max, 7);
+        a.merge(&PlaceStats {
+            combine_pass_max: 2,
+            ..PlaceStats::default()
+        });
+        assert_eq!(a.combine_pass_max, 7);
     }
 }

@@ -17,18 +17,51 @@
 //! A pop can only ignore tasks buffered at *other* places — at most
 //! `(P−1)·k` of them, so the structure is ρ-relaxed with ρ = (P−1)·k, and
 //! the bound holds for arbitrarily old buffered tasks (structural, not
-//! temporal). Compared to the hybrid structure the synchronization story is
-//! much simpler (the shared queue is a mutex-guarded heap — this prototype
-//! trades the hybrid's lock-freedom for simplicity), but pushes touch the
-//! shared queue only once every `k` tasks, which is where the scalability
-//! comes from. The ablation bench compares it against the paper's
-//! structures.
+//! temporal). Pushes touch the shared queue only once every `k` tasks,
+//! which is where the scalability comes from. The ablation bench compares
+//! it against the paper's structures.
 //!
 //! Tasks buffered at a place are visible to idle peers through *raiding*: a
 //! popper that finds both its buffer and the shared queue empty flushes a
 //! victim's buffer into the shared queue (taking the victim's buffer lock),
 //! so no task is ever stranded.
+//!
+//! # The shared queue: flat combining (default) or a plain mutex
+//!
+//! Every overflow push, shared pop, and raid flush crosses the shared
+//! queue — one heap, all places. With `PoolParams::combine` **on** (the
+//! default) those accesses are delegated through a
+//! [`crate::combine::Combiner`]: the accessing place publishes a [`HeapOp`]
+//! in its per-place slot and whichever place holds the combiner lock
+//! executes all published ops back-to-back against the heap, so the heap's
+//! cache lines stop migrating between cores under contention. With the
+//! toggle **off** the pre-combining mutex path is preserved verbatim for
+//! A/B measurement. Both modes execute the same [`HeapOp`] kernels against
+//! the same `BinaryHeap`, which is what the combining-on ≡ combining-off
+//! equivalence proptest pins.
+//!
+//! # Lock order
+//!
+//! Two lock classes exist: per-place **buffer locks** and the **shared
+//! queue** (the mutex, or the combiner lock standing in for it). The rule,
+//! relied on by the combiner's parking:
+//!
+//! > **No thread ever holds a buffer lock while acquiring — or waiting
+//! > on — the shared queue.** Buffer state needed across a shared-queue
+//! > operation (the local minimum used as a pop bound, a raided victim's
+//! > entries) is read or drained under the buffer lock, the buffer lock is
+//! > released, and only then is the shared queue entered.
+//!
+//! Holding a buffer lock across a combiner wait would deadlock-adjacent
+//! stall raiders (a parked waiter can hold its buffer lock for an unbounded
+//! time) and did, in the earlier mutex-only code, serialize every pop
+//! against pushes on the same place. The price of the rule is a benign
+//! race: the local minimum may be raided away between the bounded shared
+//! pop and the local pop, in which case the pop retries the shared queue
+//! once and may then fail spuriously — which the pool contract explicitly
+//! allows, since the raider made progress with our tasks.
 
+use crate::combine::{CombineOp, CombineStats, Combiner};
 use crate::pool::{PoolHandle, TaskPool};
 use crate::stats::PlaceStats;
 use crate::util::XorShift64;
@@ -61,27 +94,141 @@ impl<T> Ord for Entry<T> {
     }
 }
 
+/// Ordering key of an entry, usable as a pop bound across lock releases.
+type Key = (u64, u64);
+
+fn key<T>(e: &Entry<T>) -> Key {
+    (e.prio, e.seq)
+}
+
+/// Pops the heap minimum only if it is strictly better than `bound`
+/// (`None` = unconditional). Ties keep the bound's side — the local buffer
+/// wins ties, matching the historical two-lock comparison `b < s`.
+fn pop_if_better<T>(heap: &mut BinaryHeap<Entry<T>>, bound: Option<Key>) -> Option<Entry<T>> {
+    match (heap.peek(), bound) {
+        (None, _) => None,
+        (Some(e), Some(b)) if key(e) >= b => None,
+        _ => heap.pop(),
+    }
+}
+
+/// A shared-queue operation, executed either under the plain mutex or
+/// delegated through the combiner — same kernel both ways.
+enum HeapOp<T> {
+    /// Overflow push of a single entry.
+    Push(Entry<T>),
+    /// Overflow tail of a batch push.
+    PushBatch(Vec<Entry<T>>),
+    /// Pop the minimum if it beats `bound` (the caller's local minimum).
+    Pop { bound: Option<Key> },
+    /// Pop up to `max` entries each beating `bound`; the response also
+    /// reports the heap's next minimum so the caller can drain its local
+    /// buffer up to that key without re-entering the shared queue.
+    PopBatch { max: usize, bound: Option<Key> },
+    /// Raid flush: meld a victim's drained buffer into the heap, then pop
+    /// the minimum — one delegation instead of a flush plus a pop.
+    DrainInto(BinaryHeap<Entry<T>>),
+}
+
+enum HeapResp<T> {
+    Pushed,
+    One(Option<Entry<T>>),
+    Batch {
+        taken: Vec<Entry<T>>,
+        next: Option<Key>,
+    },
+}
+
+impl<T: Send> CombineOp<BinaryHeap<Entry<T>>> for HeapOp<T> {
+    type Resp = HeapResp<T>;
+
+    fn apply(self, heap: &mut BinaryHeap<Entry<T>>) -> HeapResp<T> {
+        match self {
+            HeapOp::Push(e) => {
+                heap.push(e);
+                HeapResp::Pushed
+            }
+            HeapOp::PushBatch(entries) => {
+                heap.extend_batch(entries);
+                HeapResp::Pushed
+            }
+            HeapOp::Pop { bound } => HeapResp::One(pop_if_better(heap, bound)),
+            HeapOp::PopBatch { max, bound } => {
+                let mut taken = Vec::new();
+                while taken.len() < max {
+                    match pop_if_better(heap, bound) {
+                        Some(e) => taken.push(e),
+                        None => break,
+                    }
+                }
+                HeapResp::Batch {
+                    taken,
+                    next: heap.peek().map(key),
+                }
+            }
+            HeapOp::DrainInto(mut drained) => {
+                heap.append(&mut drained);
+                HeapResp::One(heap.pop())
+            }
+        }
+    }
+}
+
 /// A lockable heap padded to its own cache line.
 type PaddedHeap<T> = CachePadded<Mutex<BinaryHeap<Entry<T>>>>;
+
+/// The shared queue behind the `PoolParams::combine` toggle.
+enum SharedQueue<T: Send + 'static> {
+    /// Pre-combining path: one mutex-guarded heap.
+    Mutex(PaddedHeap<T>),
+    /// Flat-combining path: the same heap fronted by publication slots.
+    Combined(Combiner<BinaryHeap<Entry<T>>, HeapOp<T>>),
+}
+
+impl<T: Send + 'static> SharedQueue<T> {
+    fn apply(&self, place: usize, op: HeapOp<T>, cstats: &mut CombineStats) -> HeapResp<T> {
+        match self {
+            SharedQueue::Mutex(heap) => op.apply(&mut heap.lock()),
+            SharedQueue::Combined(combiner) => combiner.execute(place, op, cstats),
+        }
+    }
+}
 
 /// Shared component: the global heap plus every place's raidable buffer.
 pub struct StructuralKPriority<T: Send + 'static> {
     k: usize,
-    shared_heap: PaddedHeap<T>,
+    queue: SharedQueue<T>,
     buffers: Box<[PaddedHeap<T>]>,
 }
 
 impl<T: Send + 'static> StructuralKPriority<T> {
     /// Creates the structure for `nplaces` places with per-place buffer
-    /// bound `k` (ρ = (P−1)·k).
+    /// bound `k` (ρ = (P−1)·k) and the default shared-queue mode
+    /// (flat combining on).
     ///
     /// # Panics
     /// Panics if `nplaces == 0`.
     pub fn new(nplaces: usize, k: usize) -> Self {
+        Self::with_combining(nplaces, k, true)
+    }
+
+    /// As [`StructuralKPriority::new`], selecting the shared-queue mode:
+    /// `combine = true` delegates shared-queue accesses through a
+    /// flat-combining [`Combiner`]; `false` keeps the plain mutex
+    /// (the A/B baseline).
+    ///
+    /// # Panics
+    /// Panics if `nplaces == 0`.
+    pub fn with_combining(nplaces: usize, k: usize, combine: bool) -> Self {
         assert!(nplaces > 0, "need at least one place");
+        let queue = if combine {
+            SharedQueue::Combined(Combiner::new(BinaryHeap::new(), nplaces))
+        } else {
+            SharedQueue::Mutex(CachePadded::new(Mutex::new(BinaryHeap::new())))
+        };
         StructuralKPriority {
             k,
-            shared_heap: CachePadded::new(Mutex::new(BinaryHeap::new())),
+            queue,
             buffers: (0..nplaces)
                 .map(|_| CachePadded::new(Mutex::new(BinaryHeap::new())))
                 .collect(),
@@ -91,6 +238,11 @@ impl<T: Send + 'static> StructuralKPriority<T> {
     /// The per-place buffer bound.
     pub fn k(&self) -> usize {
         self.k
+    }
+
+    /// Whether shared-queue accesses go through the flat combiner.
+    pub fn combining(&self) -> bool {
+        matches!(self.queue, SharedQueue::Combined(_))
     }
 }
 
@@ -108,6 +260,7 @@ impl<T: Send + 'static> TaskPool<T> for StructuralKPriority<T> {
             seq: 0,
             rng: XorShift64::new(0x5172_0000 ^ place as u64),
             stats: PlaceStats::default(),
+            cstats: CombineStats::default(),
             shared: Arc::clone(self),
         }
     }
@@ -120,21 +273,54 @@ pub struct StructuralHandle<T: Send + 'static> {
     seq: u64,
     rng: XorShift64,
     stats: PlaceStats,
+    cstats: CombineStats,
 }
 
 impl<T: Send + 'static> StructuralHandle<T> {
-    /// Moves every task of `victim`'s buffer to the shared queue; returns
-    /// how many moved.
-    fn raid(&mut self, victim: usize) -> usize {
-        let mut buf = self.shared.buffers[victim].lock();
-        if buf.is_empty() {
-            return 0;
+    fn queue(&mut self, op: HeapOp<T>) -> HeapResp<T> {
+        self.shared.queue.apply(self.place, op, &mut self.cstats)
+    }
+
+    /// Pops the shared minimum if it beats `bound`.
+    fn queue_pop(&mut self, bound: Option<Key>) -> Option<Entry<T>> {
+        match self.queue(HeapOp::Pop { bound }) {
+            HeapResp::One(e) => e,
+            _ => unreachable!("Pop answers One"),
         }
-        let mut drained = std::mem::take(&mut *buf);
-        drop(buf);
-        let n = drained.len();
-        self.shared.shared_heap.lock().append(&mut drained);
-        n
+    }
+
+    /// Drains every task of some victim's buffer into the shared queue and
+    /// pops the resulting minimum. Victim buffers are scanned round-robin
+    /// from a random start; the victim's buffer lock is released before the
+    /// shared queue is entered (see the lock-order rule).
+    fn raid_pop(&mut self) -> Option<Entry<T>> {
+        let p = self.shared.buffers.len();
+        if p <= 1 {
+            return None;
+        }
+        let start = self.rng.below(p as u64) as usize;
+        for i in 0..p {
+            let victim = (start + i) % p;
+            if victim == self.place {
+                continue;
+            }
+            let drained = {
+                let mut buf = self.shared.buffers[victim].lock();
+                if buf.is_empty() {
+                    continue;
+                }
+                std::mem::take(&mut *buf)
+            };
+            self.stats.steals += 1;
+            // Meld + pop in one shared-queue operation: with ≥1 melded
+            // entry the pop cannot come up empty.
+            match self.queue(HeapOp::DrainInto(drained)) {
+                HeapResp::One(Some(e)) => return Some(e),
+                HeapResp::One(None) => unreachable!("non-empty meld pops an entry"),
+                _ => unreachable!("DrainInto answers One"),
+            }
+        }
+        None
     }
 }
 
@@ -160,60 +346,47 @@ impl<T: Send + 'static> PoolHandle<T> for StructuralHandle<T> {
         // prototype keeps the buffer as-is and forwards the new task, which
         // preserves the ρ bound (buffer size never exceeds k).
         drop(buf);
-        self.shared.shared_heap.lock().push(entry);
         self.stats.publishes += 1;
+        self.queue(HeapOp::Push(entry));
     }
 
+    /// Takes the better of (own buffer min, shared min), never holding the
+    /// buffer lock across the shared-queue operation: the local minimum is
+    /// snapshotted as a bound, the buffer lock is released, and the shared
+    /// queue pops only entries beating the bound.
     fn pop_entry(&mut self) -> Option<(u64, T)> {
-        // Take the better of (own buffer min, shared min).
-        let mut buf = self.shared.buffers[self.place].lock();
-        let mut shared = self.shared.shared_heap.lock();
-        let from_buffer = match (buf.peek(), shared.peek()) {
-            (Some(b), Some(s)) => b < s,
-            (Some(_), None) => true,
-            (None, Some(_)) => false,
-            (None, None) => {
-                drop(shared);
-                drop(buf);
-                // Both empty: raid a random victim's buffer, then retry the
-                // shared queue once. Spurious failure is allowed.
-                let p = self.shared.buffers.len();
-                if p > 1 {
-                    // Round-robin over all other places from a random start,
-                    // so every buffer is tried exactly once per pop.
-                    let start = self.rng.below(p as u64) as usize;
-                    for i in 0..p {
-                        let victim = (start + i) % p;
-                        if victim == self.place {
-                            continue;
-                        }
-                        if self.raid(victim) > 0 {
-                            self.stats.steals += 1;
-                            if let Some(e) = self.shared.shared_heap.lock().pop() {
-                                self.stats.pops += 1;
-                                return Some((e.prio, e.task));
-                            }
-                        }
-                    }
-                }
-                self.stats.failed_pops += 1;
-                return None;
+        let bound = self.shared.buffers[self.place].lock().peek().map(key);
+        if let Some(e) = self.queue_pop(bound) {
+            self.stats.pops += 1;
+            return Some((e.prio, e.task));
+        }
+        if bound.is_some() {
+            // Shared min did not beat the local one (or the heap is
+            // empty): the local minimum is the pop.
+            if let Some(e) = self.shared.buffers[self.place].lock().pop() {
+                self.stats.pops += 1;
+                return Some((e.prio, e.task));
             }
-        };
-        let entry = if from_buffer {
-            drop(shared);
-            buf.pop()
-        } else {
-            drop(buf);
-            shared.pop()
-        };
-        self.stats.pops += 1;
-        entry.map(|e| (e.prio, e.task))
+            // The buffer was raided between the peek and the pop; our
+            // entries moved to the shared queue — retry it unbounded.
+            if let Some(e) = self.queue_pop(None) {
+                self.stats.pops += 1;
+                return Some((e.prio, e.task));
+            }
+        }
+        // Both empty: raid a victim's buffer, then pop the meld. Spurious
+        // failure is allowed.
+        if let Some(e) = self.raid_pop() {
+            self.stats.pops += 1;
+            return Some((e.prio, e.task));
+        }
+        self.stats.failed_pops += 1;
+        None
     }
 
     /// Batch push: the local-buffer prefix fills under one buffer lock,
     /// and everything past the buffer bound goes to the shared queue in a
-    /// single locked bulk insert.
+    /// single bulk insert (after the buffer lock is released).
     fn push_batch(&mut self, _k: usize, batch: &mut Vec<(u64, T)>) {
         if batch.is_empty() {
             return;
@@ -234,36 +407,44 @@ impl<T: Send + 'static> PoolHandle<T> for StructuralHandle<T> {
         let overflow: Vec<Entry<T>> = entries.collect();
         if !overflow.is_empty() {
             self.stats.publishes += overflow.len() as u64;
-            self.shared.shared_heap.lock().extend_batch(overflow);
+            self.queue(HeapOp::PushBatch(overflow));
         }
     }
 
-    /// Batch pop: drains up to `max` tasks while holding the two locks
-    /// once, instead of re-locking per task; raiding (the slow path) is
-    /// delegated to scalar `pop` when the batch would come up empty.
+    /// Batch pop: one bounded shared-queue batch (everything beating the
+    /// local minimum), then a local drain up to the shared queue's next
+    /// minimum — each returned task is one a scalar `pop` could have
+    /// returned at its point in the sequence, without ever holding the
+    /// buffer lock across the shared-queue operation. Raiding (the slow
+    /// path) is delegated to scalar `pop` when the batch comes up empty.
     fn try_pop_batch(&mut self, out: &mut Vec<T>, max: usize) -> usize {
         if max == 0 {
             return 0;
         }
-        let mut got = 0;
-        {
+        let bound = self.shared.buffers[self.place].lock().peek().map(key);
+        let (taken, next) = match self.queue(HeapOp::PopBatch { max, bound }) {
+            HeapResp::Batch { taken, next } => (taken, next),
+            _ => unreachable!("PopBatch answers Batch"),
+        };
+        let mut got = taken.len();
+        out.extend(taken.into_iter().map(|e| e.task));
+        if got < max && bound.is_some() {
+            // The shared side is exhausted below `next`; local entries
+            // beating `next` are exactly what consecutive scalar pops
+            // would take now. (Pushes racing into the shared queue are
+            // simply newer than this batch.)
             let mut buf = self.shared.buffers[self.place].lock();
-            let mut shared = self.shared.shared_heap.lock();
             while got < max {
-                let from_buffer = match (buf.peek(), shared.peek()) {
-                    (Some(b), Some(s)) => b < s,
+                let take = match (buf.peek(), next) {
+                    (Some(b), Some(n)) => key(b) < n,
                     (Some(_), None) => true,
-                    (None, Some(_)) => false,
-                    (None, None) => break,
+                    (None, _) => false,
                 };
-                let entry = if from_buffer { buf.pop() } else { shared.pop() };
-                match entry {
-                    Some(e) => {
-                        out.push(e.task);
-                        got += 1;
-                    }
-                    None => break,
+                if !take {
+                    break;
                 }
+                out.push(buf.pop().expect("peeked entry pops").task);
+                got += 1;
             }
         }
         if got > 0 {
@@ -281,7 +462,12 @@ impl<T: Send + 'static> PoolHandle<T> for StructuralHandle<T> {
     }
 
     fn stats(&self) -> PlaceStats {
-        self.stats
+        let mut s = self.stats;
+        s.combine_passes = self.cstats.passes;
+        s.combine_ops = self.cstats.ops;
+        s.combine_pass_max = self.cstats.max_pass;
+        s.combine_parks = self.cstats.parks;
+        s
     }
 }
 
@@ -293,48 +479,65 @@ mod tests {
         Arc::new(StructuralKPriority::new(n, k))
     }
 
+    /// Both shared-queue modes, so every test runs the mutex path too.
+    fn pools(n: usize, k: usize) -> [Arc<StructuralKPriority<u64>>; 2] {
+        [
+            Arc::new(StructuralKPriority::with_combining(n, k, true)),
+            Arc::new(StructuralKPriority::with_combining(n, k, false)),
+        ]
+    }
+
+    #[test]
+    fn default_mode_is_combining() {
+        assert!(pool(1, 4).combining());
+        assert!(!StructuralKPriority::<u64>::with_combining(1, 4, false).combining());
+    }
+
     #[test]
     fn single_place_priority_order() {
-        let p = pool(1, 4);
-        let mut h = p.handle(0);
-        for &x in &[6u64, 2, 8, 1] {
-            h.push(x, 0, x);
+        for p in pools(1, 4) {
+            let mut h = p.handle(0);
+            for &x in &[6u64, 2, 8, 1] {
+                h.push(x, 0, x);
+            }
+            let mut out = Vec::new();
+            while let Some(t) = h.pop() {
+                out.push(t);
+            }
+            assert_eq!(out, vec![1, 2, 6, 8]);
         }
-        let mut out = Vec::new();
-        while let Some(t) = h.pop() {
-            out.push(t);
-        }
-        assert_eq!(out, vec![1, 2, 6, 8]);
     }
 
     #[test]
     fn overflow_goes_to_shared_queue() {
-        let p = pool(2, 2);
-        let mut h0 = p.handle(0);
-        for i in 0..5u64 {
-            h0.push(i, 0, i);
+        for p in pools(2, 2) {
+            let mut h0 = p.handle(0);
+            for i in 0..5u64 {
+                h0.push(i, 0, i);
+            }
+            // Buffer holds 2, the rest went shared: place 1 sees them
+            // without raiding.
+            let mut h1 = p.handle(1);
+            assert!(h1.pop().is_some());
+            assert_eq!(h1.stats().steals, 0);
         }
-        // Buffer holds 2, the rest went shared: place 1 sees them without
-        // raiding.
-        let mut h1 = p.handle(1);
-        assert!(h1.pop().is_some());
-        assert_eq!(h1.stats().steals, 0);
     }
 
     #[test]
     fn raid_recovers_buffered_tasks() {
-        let p = pool(2, 64);
-        let mut h0 = p.handle(0);
-        for i in 0..5u64 {
-            h0.push(i, 0, i); // all buffered at place 0
+        for p in pools(2, 64) {
+            let mut h0 = p.handle(0);
+            for i in 0..5u64 {
+                h0.push(i, 0, i); // all buffered at place 0
+            }
+            let mut h1 = p.handle(1);
+            let mut got = Vec::new();
+            while let Some(t) = h1.pop() {
+                got.push(t);
+            }
+            assert_eq!(got, vec![0, 1, 2, 3, 4]);
+            assert!(h1.stats().steals >= 1);
         }
-        let mut h1 = p.handle(1);
-        let mut got = Vec::new();
-        while let Some(t) = h1.pop() {
-            got.push(t);
-        }
-        assert_eq!(got, vec![0, 1, 2, 3, 4]);
-        assert!(h1.stats().steals >= 1);
     }
 
     /// The structural bound: a pop may ignore only tasks buffered at other
@@ -344,69 +547,71 @@ mod tests {
     #[test]
     fn old_tasks_may_stay_buffered_but_bound_holds() {
         let k = 3;
-        let p = pool(2, k);
-        let mut h0 = p.handle(0);
-        // k old, high-priority tasks stay in the buffer forever …
-        for i in 0..k as u64 {
-            h0.push(i, 0, i);
+        for p in pools(2, k) {
+            let mut h0 = p.handle(0);
+            // k old, high-priority tasks stay in the buffer forever …
+            for i in 0..k as u64 {
+                h0.push(i, 0, i);
+            }
+            // … while newer, worse tasks overflow to the shared queue.
+            for i in 0..20u64 {
+                h0.push(100 + i, 0, 100 + i);
+            }
+            let mut h1 = p.handle(1);
+            // Place 1 pops the shared tasks; the k buffered ones are
+            // ignored — exactly the structural allowance, never more.
+            for i in 0..20u64 {
+                assert_eq!(h1.pop(), Some(100 + i));
+            }
+            // Raid finally liberates the buffered ones.
+            let mut rest = Vec::new();
+            while let Some(t) = h1.pop() {
+                rest.push(t);
+            }
+            assert_eq!(rest, vec![0, 1, 2]);
         }
-        // … while newer, worse tasks overflow to the shared queue.
-        for i in 0..20u64 {
-            h0.push(100 + i, 0, 100 + i);
-        }
-        let mut h1 = p.handle(1);
-        // Place 1 pops the shared tasks; the k buffered ones are ignored —
-        // exactly the structural allowance, never more.
-        for i in 0..20u64 {
-            assert_eq!(h1.pop(), Some(100 + i));
-        }
-        // Raid finally liberates the buffered ones.
-        let mut rest = Vec::new();
-        while let Some(t) = h1.pop() {
-            rest.push(t);
-        }
-        assert_eq!(rest, vec![0, 1, 2]);
     }
 
     #[test]
     fn concurrent_exactly_once() {
-        let threads = 4usize;
-        let per = 2_000u64;
-        let p = pool(threads, 16);
-        let popped = Arc::new(std::sync::atomic::AtomicU64::new(0));
-        let taken: Arc<Vec<std::sync::atomic::AtomicU32>> =
-            Arc::new((0..threads as u64 * per).map(|_| 0.into()).collect());
-        std::thread::scope(|s| {
-            for t in 0..threads {
-                let p = Arc::clone(&p);
-                let taken = Arc::clone(&taken);
-                let popped = Arc::clone(&popped);
-                s.spawn(move || {
-                    use std::sync::atomic::Ordering;
-                    let mut h = p.handle(t);
-                    let mut rng = XorShift64::new(t as u64 + 13);
-                    let mut pushed = 0u64;
-                    loop {
-                        if pushed < per && rng.below(2) == 0 {
-                            h.push(rng.below(500), 0, t as u64 * per + pushed);
-                            pushed += 1;
-                        } else if let Some(got) = h.pop() {
-                            assert_eq!(taken[got as usize].fetch_add(1, Ordering::Relaxed), 0);
-                            popped.fetch_add(1, Ordering::Relaxed);
-                        } else if pushed == per
-                            && popped.load(Ordering::Relaxed) == threads as u64 * per
-                        {
-                            break;
-                        } else {
-                            std::thread::yield_now();
+        for p in pools(4, 16) {
+            let threads = 4usize;
+            let per = 2_000u64;
+            let popped = Arc::new(std::sync::atomic::AtomicU64::new(0));
+            let taken: Arc<Vec<std::sync::atomic::AtomicU32>> =
+                Arc::new((0..threads as u64 * per).map(|_| 0.into()).collect());
+            std::thread::scope(|s| {
+                for t in 0..threads {
+                    let p = Arc::clone(&p);
+                    let taken = Arc::clone(&taken);
+                    let popped = Arc::clone(&popped);
+                    s.spawn(move || {
+                        use std::sync::atomic::Ordering;
+                        let mut h = p.handle(t);
+                        let mut rng = XorShift64::new(t as u64 + 13);
+                        let mut pushed = 0u64;
+                        loop {
+                            if pushed < per && rng.below(2) == 0 {
+                                h.push(rng.below(500), 0, t as u64 * per + pushed);
+                                pushed += 1;
+                            } else if let Some(got) = h.pop() {
+                                assert_eq!(taken[got as usize].fetch_add(1, Ordering::Relaxed), 0);
+                                popped.fetch_add(1, Ordering::Relaxed);
+                            } else if pushed == per
+                                && popped.load(Ordering::Relaxed) == threads as u64 * per
+                            {
+                                break;
+                            } else {
+                                std::thread::yield_now();
+                            }
                         }
-                    }
-                });
-            }
-        });
-        assert_eq!(
-            popped.load(std::sync::atomic::Ordering::Relaxed),
-            threads as u64 * per
-        );
+                    });
+                }
+            });
+            assert_eq!(
+                popped.load(std::sync::atomic::Ordering::Relaxed),
+                threads as u64 * per
+            );
+        }
     }
 }

@@ -35,6 +35,13 @@ pub struct Record {
     pub max_ns: f64,
     /// Elements per iteration when a throughput was configured.
     pub elements: Option<u64>,
+    /// Median per-operation latency, when the benchmark recorded a
+    /// per-op histogram (see [`BenchmarkGroup::report_with_percentiles`]).
+    pub p50_ns: Option<f64>,
+    /// 99th-percentile per-operation latency.
+    pub p99_ns: Option<f64>,
+    /// 99.9th-percentile per-operation latency.
+    pub p999_ns: Option<f64>,
 }
 
 fn records() -> &'static Mutex<Vec<Record>> {
@@ -164,6 +171,49 @@ impl BenchmarkGroup<'_> {
     /// Closes the group (parity with real criterion; no-op here).
     pub fn finish(&mut self) {}
 
+    /// Reports a measurement the benchmark took itself — per-operation
+    /// latency percentiles from an HDR-style histogram alongside the
+    /// aggregate stats. Real criterion has no such API; benches that
+    /// need tail latency sample each op and hand the quantiles in here.
+    /// Respects the CLI filter like any other benchmark in the group.
+    #[allow(clippy::too_many_arguments)]
+    pub fn report_with_percentiles(
+        &mut self,
+        id: impl std::fmt::Display,
+        mean_ns: f64,
+        min_ns: f64,
+        max_ns: f64,
+        p50_ns: f64,
+        p99_ns: f64,
+        p999_ns: f64,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        println!(
+            "bench {full:<55} {mean_ns:>12.1} ns/op   (p50 {p50_ns:.0}, p99 {p99_ns:.0}, \
+             p999 {p999_ns:.0}, max {max_ns:.0})"
+        );
+        records().lock().unwrap().push(Record {
+            group: self.name.clone(),
+            id: id.to_string(),
+            mean_ns,
+            min_ns,
+            max_ns,
+            elements: match self.throughput {
+                Some(Throughput::Elements(n)) => Some(n),
+                _ => None,
+            },
+            p50_ns: Some(p50_ns),
+            p99_ns: Some(p99_ns),
+            p999_ns: Some(p999_ns),
+        });
+        self
+    }
+
     fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
         let full = format!("{}/{}", self.name, id);
         if let Some(filter) = &self.filter {
@@ -210,6 +260,9 @@ impl BenchmarkGroup<'_> {
             min_ns: min,
             max_ns: max,
             elements,
+            p50_ns: None,
+            p99_ns: None,
+            p999_ns: None,
         });
     }
 }
@@ -241,9 +294,17 @@ pub fn finalize() {
     let mut out = String::from("[\n");
     for (i, r) in records.iter().enumerate() {
         let sep = if i + 1 == records.len() { "" } else { "," };
+        // Percentile fields appear only when the benchmark recorded a
+        // per-op histogram, keeping older baseline files schema-stable.
+        let percentiles = match (r.p50_ns, r.p99_ns, r.p999_ns) {
+            (Some(p50), Some(p99), Some(p999)) => {
+                format!(", \"p50_ns\": {p50:.1}, \"p99_ns\": {p99:.1}, \"p999_ns\": {p999:.1}")
+            }
+            _ => String::new(),
+        };
         out.push_str(&format!(
             "  {{\"group\": \"{}\", \"id\": \"{}\", \"mean_ns\": {:.1}, \
-             \"min_ns\": {:.1}, \"max_ns\": {:.1}, \"elements\": {}}}{sep}\n",
+             \"min_ns\": {:.1}, \"max_ns\": {:.1}, \"elements\": {}{percentiles}}}{sep}\n",
             r.group,
             r.id,
             r.mean_ns,
@@ -303,5 +364,44 @@ mod tests {
             .iter()
             .any(|r| r.group == "shim_self_test" && r.id == "noop" && r.mean_ns >= 0.0));
         assert!(recs.iter().any(|r| r.id == "param/4"));
+        assert!(
+            recs.iter()
+                .filter(|r| r.group == "shim_self_test")
+                .all(|r| r.p50_ns.is_none()),
+            "plain benchmarks must not invent percentiles"
+        );
+    }
+
+    #[test]
+    fn percentile_report_records_quantiles() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim_percentiles");
+        g.throughput(Throughput::Elements(100));
+        g.report_with_percentiles("oplat/p2", 120.0, 80.0, 9_000.0, 110.0, 450.0, 8_000.0);
+        g.finish();
+        let recs = records().lock().unwrap();
+        let r = recs
+            .iter()
+            .find(|r| r.group == "shim_percentiles" && r.id == "oplat/p2")
+            .expect("percentile record present");
+        assert_eq!(r.p50_ns, Some(110.0));
+        assert_eq!(r.p99_ns, Some(450.0));
+        assert_eq!(r.p999_ns, Some(8_000.0));
+        assert_eq!(r.elements, Some(100));
+    }
+
+    #[test]
+    fn percentile_report_respects_filter() {
+        let mut c = Criterion {
+            filter: Some("no_such_bench".into()),
+        };
+        let mut g = c.benchmark_group("shim_filtered");
+        g.report_with_percentiles("skipped", 1.0, 1.0, 1.0, 1.0, 1.0, 1.0);
+        g.finish();
+        let recs = records().lock().unwrap();
+        assert!(
+            !recs.iter().any(|r| r.group == "shim_filtered"),
+            "filtered-out percentile reports must not record"
+        );
     }
 }
