@@ -305,12 +305,89 @@ fn bench_combine(c: &mut Criterion) {
     g.finish();
 }
 
+/// MultiQueue pool with the queues-per-place factor explicit; everything
+/// else as in [`pool`].
+fn mq_pool(places: usize, c: usize) -> Arc<AnyPool<u64>> {
+    Arc::new(PoolKind::MultiQueue.build(places, PoolParams::with_k(64).with_mq_c(c)))
+}
+
+/// Relaxed MultiQueue vs the four exact structures — the A/B that prices
+/// the relaxation. The MultiQueue's c·P queues with two-choice pops
+/// should shed contention as c grows; the exact structures are the
+/// quality baseline those saved nanoseconds are traded against. (The
+/// quality side of the trade — rank error — is measured separately by
+/// `schedbench --rank-error`, off this hot path.)
+///
+/// Two arms per cell, as in [`bench_combine`]: wall-clock throughput via
+/// the normal bencher, and self-measured per-op percentiles (`*_lat/p*`
+/// ids carry `p50_ns`/`p99_ns`/`p999_ns` in the JSON dump).
+fn bench_multiqueue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ds_multiqueue");
+    g.throughput(Throughput::Elements(2 * OPS));
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    let places_sweep = [1usize, 2, 4];
+    let exact: Vec<PoolKind> = PoolKind::ALL
+        .into_iter()
+        .filter(|&k| k != PoolKind::MultiQueue)
+        .collect();
+    for &places in &places_sweep {
+        for mc in [1usize, 2, 4] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("mq_c{mc}"), format!("p{places}")),
+                &places,
+                |b, &p| b.iter(|| contended_cycle(mq_pool(p, mc), p)),
+            );
+        }
+        for &kind in &exact {
+            g.bench_with_input(
+                BenchmarkId::new(kind.id(), format!("p{places}")),
+                &places,
+                |b, &p| b.iter(|| contended_cycle(pool(kind, p), p)),
+            );
+        }
+    }
+    type PoolThunk = Box<dyn Fn() -> Arc<AnyPool<u64>>>;
+    for &places in &places_sweep {
+        let mut cells: Vec<(String, PoolThunk)> = Vec::new();
+        for mc in [1usize, 2, 4] {
+            cells.push((
+                format!("mq_c{mc}_lat/p{places}"),
+                Box::new(move || mq_pool(places, mc)),
+            ));
+        }
+        for &kind in &exact {
+            cells.push((
+                format!("{}_lat/p{places}", kind.id()),
+                Box::new(move || pool(kind, places)),
+            ));
+        }
+        for (id, make_pool) in cells {
+            let mut hist = LatencyHist::new();
+            for _ in 0..3 {
+                hist.merge(&contended_cycle_timed(make_pool(), places));
+            }
+            g.report_with_percentiles(
+                id,
+                hist.mean_ns(),
+                hist.min_ns() as f64,
+                hist.max_ns() as f64,
+                hist.p50() as f64,
+                hist.p99() as f64,
+                hist.p999() as f64,
+            );
+        }
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_single_thread,
     bench_contended,
     bench_batch_single_thread,
     bench_batch_contended,
-    bench_combine
+    bench_combine,
+    bench_multiqueue
 );
 criterion_main!(benches);

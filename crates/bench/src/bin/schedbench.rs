@@ -8,9 +8,9 @@
 //!
 //! ```text
 //! schedbench [--smoke] [--workloads sssp,bfs,cholesky,knapsack,mo_sssp,mst]
-//!            [--kinds work_stealing,centralized,hybrid,structural]
+//!            [--kinds work_stealing,centralized,hybrid,structural,multiqueue]
 //!            [--places 1,2,4] [--k 512] [--chunks 0] [--reps 3]
-//!            [--combining on,off] [--oplat OPS]
+//!            [--combining on,off] [--oplat OPS] [--rank-error OPS]
 //!            [--ingest PRODUCERSxCHUNK,…] [--lane-cap N,…]
 //!            [--net CONNSxPER_CONN,…] [--out FILE.json]
 //! ```
@@ -58,6 +58,16 @@
 //!   records land in group `schedbench_oplat` with `p50_ns`/`p99_ns`/
 //!   `p999_ns` fields — the committed `BENCH_combine.json` baseline.
 //!   Mutually exclusive with `--ingest`/`--net`/`--chaos`.
+//! * `--rank-error OPS` switches to the relaxation-quality sweep: the
+//!   same raw-pool cycle, but MultiQueue cells fan out over the c ×
+//!   stickiness grid and run twice — once uninstrumented for honest
+//!   latency, once with the shadow-heap instrument pricing every pop's
+//!   rank error. Records land in group `schedbench_rankerr`; MultiQueue
+//!   rows carry `rank_err_mean`/`rank_err_p99`/`rank_err_max` next to
+//!   the latency percentiles, and the c = 1 single-place cell must
+//!   measure exactly zero (the instrument's null experiment) — the
+//!   committed `BENCH_multiqueue.json` baseline. Mutually exclusive
+//!   with `--ingest`/`--net`/`--chaos`/`--oplat`.
 //! * Malformed flags are **usage errors**: the sweep prints a diagnostic
 //!   to stderr and exits with code 2 instead of panicking.
 //! * Any oracle mismatch aborts with a nonzero exit code.
@@ -75,7 +85,7 @@ const WORKLOADS: [&str; 6] = ["sssp", "bfs", "cholesky", "knapsack", "mo_sssp", 
 
 const USAGE: &str = "usage: schedbench [--smoke] [--workloads LIST] [--kinds LIST] \
      [--places LIST] [--k LIST] [--chunks LIST] [--combining on,off] \
-     [--oplat OPS] [--ingest PxC,…] \
+     [--oplat OPS] [--rank-error OPS] [--ingest PxC,…] \
      [--lane-cap N,… (0 = unbounded; requires --ingest or --net)] \
      [--net CxS,…] [--chaos seed=N] [--reps N] [--out FILE]";
 
@@ -130,6 +140,9 @@ struct Args {
     combining: Vec<bool>,
     /// `--oplat OPS`: per-op latency sweep with OPS cycles per thread.
     oplat: Option<u64>,
+    /// `--rank-error OPS`: relaxation-quality sweep — oplat cycle plus a
+    /// shadow-instrumented MultiQueue pass over the c × stickiness grid.
+    rank_error: Option<u64>,
     reps: usize,
     out: Option<PathBuf>,
 }
@@ -166,6 +179,7 @@ impl Args {
             lane_caps: vec![None],
             combining: vec![true],
             oplat: None,
+            rank_error: None,
             reps: 3,
             out: None,
         };
@@ -241,6 +255,13 @@ impl Args {
                             .map_err(|e| format!("--oplat: {e}"))?,
                     );
                 }
+                "--rank-error" => {
+                    cfg.rank_error = Some(
+                        take("--rank-error")?
+                            .parse()
+                            .map_err(|e| format!("--rank-error: {e}"))?,
+                    );
+                }
                 "--reps" => {
                     cfg.reps = take("--reps")?
                         .parse()
@@ -292,6 +313,22 @@ impl Args {
                 return Err(
                     "--oplat times raw pool ops and contradicts --net/--ingest/--chaos; \
                      pass one"
+                        .into(),
+                );
+            }
+        }
+        if let Some(ops) = cfg.rank_error {
+            if ops == 0 {
+                return Err("--rank-error: ops per thread must be positive".into());
+            }
+            if !cfg.net.is_empty()
+                || !cfg.ingest.is_empty()
+                || cfg.chaos.is_some()
+                || cfg.oplat.is_some()
+            {
+                return Err(
+                    "--rank-error measures raw pool ops plus relaxation quality and \
+                     contradicts --net/--ingest/--chaos/--oplat; pass one"
                         .into(),
                 );
             }
@@ -378,18 +415,24 @@ fn json_record(
 /// Per-op latency cell: `places` threads, each timing `ops` push/pop
 /// cycles (push, then every other iteration a pop, then a drain) into a
 /// thread-local histogram; merged at the end. Pseudo-random priorities
-/// keep the heap honest.
+/// keep the heap honest. Also merges the per-place operation counters —
+/// when `params` switched the MultiQueue's rank-error shadow on, they
+/// carry the relaxation accounting the `--rank-error` sweep reports.
 fn oplat_cell(
     kind: PoolKind,
     places: usize,
     params: PoolParams,
     ops: u64,
-) -> priosched_bench::latency::LatencyHist {
+) -> (
+    priosched_bench::latency::LatencyHist,
+    priosched_core::stats::PlaceStats,
+) {
     use priosched_bench::latency::LatencyHist;
+    use priosched_core::stats::PlaceStats;
     use priosched_core::{PoolHandle, TaskPool};
     use std::time::Instant;
     let pool = std::sync::Arc::new(kind.build(places, params));
-    let merged = std::sync::Mutex::new(LatencyHist::new());
+    let merged = std::sync::Mutex::new((LatencyHist::new(), PlaceStats::default()));
     std::thread::scope(|s| {
         for t in 0..places {
             let pool = std::sync::Arc::clone(&pool);
@@ -417,7 +460,10 @@ fn oplat_cell(
                     }
                     hist.record_duration(t0.elapsed());
                 }
-                merged.lock().unwrap().merge(&hist);
+                let stats = h.stats();
+                let mut m = merged.lock().unwrap();
+                m.0.merge(&hist);
+                m.1.merge(&stats);
             });
         }
     });
@@ -444,7 +490,7 @@ fn run_oplat_sweep(args: &Args, ops: u64) -> Vec<String> {
                         continue;
                     }
                     let params = PoolParams::with_k(k).with_combining(comb);
-                    let hist = oplat_cell(kind, places, params, ops);
+                    let (hist, _) = oplat_cell(kind, places, params, ops);
                     let queue = if kind != PoolKind::Structural {
                         "-"
                     } else if comb {
@@ -487,6 +533,134 @@ fn run_oplat_sweep(args: &Args, ops: u64) -> Vec<String> {
                         hist.p50() as f64,
                         hist.p99() as f64,
                         hist.p999() as f64,
+                    ));
+                }
+            }
+        }
+    }
+    records
+}
+
+/// MultiQueue relaxation axes swept by `--rank-error`: queues-per-place
+/// factor c and pop stickiness. Exact structures get one cell each (they
+/// have no relaxation knobs and serve as the latency baselines).
+const MQ_CS: [usize; 3] = [1, 2, 4];
+const MQ_STICKINESS: [usize; 2] = [0, 8];
+
+/// Runs the `--rank-error` sweep: the oplat push/pop cycle per kind ×
+/// places × k, with MultiQueue cells fanned out over c × stickiness and
+/// run **twice** — an uninstrumented pass for honest latency numbers,
+/// then an instrumented pass whose shadow-heap accounting prices every
+/// pop's rank error. Emits `schedbench_rankerr` records; MultiQueue rows
+/// carry `rank_err_mean`/`rank_err_p99`/`rank_err_max`/`rank_err_pops`.
+///
+/// Self-check: a c = 1 single-place MultiQueue is one sequential queue,
+/// so the instrument must measure exactly zero there — any other reading
+/// aborts the sweep (a measurement layer that fails its null experiment
+/// cannot be trusted on the real one).
+fn run_rankerr_sweep(args: &Args, ops: u64) -> Vec<String> {
+    let mut records = Vec::new();
+    println!(
+        "{:<14} {:>2} {:>6} {:>3} {:>5} | {:>9} {:>9} {:>9} {:>9} | {:>9} {:>8} {:>8}",
+        "structure",
+        "P",
+        "k",
+        "c",
+        "stick",
+        "mean",
+        "p50",
+        "p99",
+        "p999",
+        "rank-mean",
+        "rank-p99",
+        "rank-max"
+    );
+    for &kind in &args.kinds {
+        for &places in &args.places {
+            for &k in &args.ks {
+                // Exact structures: one latency-baseline cell, no knobs.
+                let cells: Vec<Option<(usize, usize)>> = if kind == PoolKind::MultiQueue {
+                    MQ_CS
+                        .iter()
+                        .flat_map(|&c| MQ_STICKINESS.iter().map(move |&s| Some((c, s))))
+                        .collect()
+                } else {
+                    vec![None]
+                };
+                for cell in cells {
+                    let params = match cell {
+                        None => PoolParams::with_k(k),
+                        Some((c, stick)) => {
+                            PoolParams::with_k(k).with_mq_c(c).with_mq_stickiness(stick)
+                        }
+                    };
+                    // Timed pass runs uninstrumented: the shadow heap's
+                    // global mutex would poison the latency numbers.
+                    let (hist, _) = oplat_cell(kind, places, params, ops);
+                    let rank = cell.map(|_| {
+                        let (_, stats) =
+                            oplat_cell(kind, places, params.with_rank_error(true), ops);
+                        stats
+                    });
+                    if let (Some((1, _)), Some(stats)) = (cell, rank.as_ref()) {
+                        if places == 1 {
+                            assert_eq!(
+                                (stats.rank_sum, stats.rank_max),
+                                (0, 0),
+                                "self-check failed: c=1 single-place MultiQueue is exact \
+                                 but the instrument measured nonzero rank error"
+                            );
+                        }
+                    }
+                    let (id_suffix, c_col, s_col) = match cell {
+                        None => (String::new(), "-".to_string(), "-".to_string()),
+                        Some((c, s)) => (format!("_c{c}_s{s}"), c.to_string(), s.to_string()),
+                    };
+                    println!(
+                        "{:<14} {:>2} {:>6} {:>3} {:>5} | {:>7.1}ns {:>7}ns {:>7}ns {:>7}ns | {:>9} {:>8} {:>8}",
+                        kind.label(),
+                        places,
+                        k,
+                        c_col,
+                        s_col,
+                        hist.mean_ns(),
+                        hist.p50(),
+                        hist.p99(),
+                        hist.p999(),
+                        rank.as_ref()
+                            .map_or("-".to_string(), |s| format!("{:.2}", s.rank_mean())),
+                        rank.as_ref()
+                            .map_or("-".to_string(), |s| s.rank_p99().to_string()),
+                        rank.as_ref()
+                            .map_or("-".to_string(), |s| s.rank_max.to_string()),
+                    );
+                    let rank_fields = rank.as_ref().map_or(String::new(), |s| {
+                        format!(
+                            ", \"rank_err_mean\": {:.3}, \"rank_err_p99\": {}, \
+                             \"rank_err_max\": {}, \"rank_err_pops\": {}",
+                            s.rank_mean(),
+                            s.rank_p99(),
+                            s.rank_max,
+                            s.rank_pops,
+                        )
+                    });
+                    records.push(format!(
+                        "{{\"group\": \"schedbench_rankerr\", \"id\": \"{}/p{}_k{}{}\", \
+                         \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \
+                         \"elements\": {}, \"p50_ns\": {:.1}, \"p99_ns\": {:.1}, \
+                         \"p999_ns\": {:.1}{}}}",
+                        kind.id(),
+                        places,
+                        k,
+                        id_suffix,
+                        hist.mean_ns(),
+                        hist.min_ns() as f64,
+                        hist.max_ns() as f64,
+                        hist.count(),
+                        hist.p50() as f64,
+                        hist.p99() as f64,
+                        hist.p999() as f64,
+                        rank_fields,
                     ));
                 }
             }
@@ -754,6 +928,36 @@ fn main() {
         println!(
             "\nall {} net sweep cells verified against the countdown oracle",
             records.len()
+        );
+        return;
+    }
+    if let Some(ops) = args.rank_error {
+        println!(
+            "schedbench --rank-error: {} kind(s) × places {:?} × k {:?}; MultiQueue cells \
+             sweep c {:?} × stickiness {:?}, each timed uninstrumented then re-run with \
+             the shadow instrument; {ops} push/pop cycles per thread",
+            args.kinds.len(),
+            args.places,
+            args.ks,
+            MQ_CS,
+            MQ_STICKINESS,
+        );
+        println!("host: {cores} hardware thread(s)\n");
+        let records = run_rankerr_sweep(&args, ops);
+        write_records(args.out.as_deref(), &records);
+        let instrumented = records
+            .iter()
+            .filter(|r| r.contains("rank_err_mean"))
+            .count();
+        let null_ran = args.kinds.contains(&PoolKind::MultiQueue) && args.places.contains(&1);
+        println!(
+            "\n{} rank-error cells measured ({instrumented} with the shadow instrument{})",
+            records.len(),
+            if null_ran {
+                "; c=1 single-place null experiment held"
+            } else {
+                ""
+            }
         );
         return;
     }
@@ -1076,6 +1280,52 @@ mod tests {
                 Args::parse(&argv(&conflict)).expect_err(&format!("{conflict:?} must be rejected"));
             assert!(err.contains("--oplat"), "{err}");
         }
+    }
+
+    #[test]
+    fn rank_error_parses_and_guards() {
+        let args = Args::parse(&argv(&["--rank-error", "2000"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(args.rank_error, Some(2000));
+        assert!(
+            Args::parse(&argv(&["--rank-error", "0"])).is_err(),
+            "zero ops"
+        );
+        assert!(Args::parse(&argv(&["--rank-error", "lots"])).is_err());
+        assert!(Args::parse(&argv(&["--rank-error"])).is_err());
+        // Its own sweep: contradicts the streamed/net/chaos/oplat modes.
+        for conflict in [
+            vec!["--rank-error", "100", "--ingest", "2x8"],
+            vec!["--rank-error", "100", "--net", "2x8"],
+            vec!["--rank-error", "100", "--chaos", "seed=1"],
+            vec!["--rank-error", "100", "--oplat", "100"],
+        ] {
+            let err =
+                Args::parse(&argv(&conflict)).expect_err(&format!("{conflict:?} must be rejected"));
+            assert!(err.contains("--rank-error"), "{err}");
+        }
+    }
+
+    #[test]
+    fn kinds_filter_accepts_the_multiqueue_spellings() {
+        // The fifth kind reaches every sweep through the same --kinds
+        // filter as the exact four — no schedbench special-casing.
+        let args = Args::parse(&argv(&["--kinds", "multiqueue"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(args.kinds, vec![PoolKind::MultiQueue]);
+        let args = Args::parse(&argv(&["--kinds", "mq,work_stealing"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            args.kinds,
+            vec![PoolKind::MultiQueue, PoolKind::WorkStealing]
+        );
+        // The default sweep covers all five kinds.
+        let args = Args::parse(&argv(&[])).unwrap().unwrap();
+        assert_eq!(args.kinds.len(), 5);
+        assert!(args.kinds.contains(&PoolKind::MultiQueue));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! Every fault the scheduler claims to tolerate is injected here on
 //! purpose, from a seed, and checked against an exact failure-aware
-//! oracle — across all four [`PoolKind`]s:
+//! oracle — across all five [`PoolKind`]s:
 //!
 //! 1. **Task panics** ([`scenario_isolate`], [`scenario_abort`]): the
 //!    chaos executor panics on seeded "bomb" values *before* spawning

@@ -2,7 +2,7 @@
 //!
 //! Harnesses, examples, and tests all want the same thing: "give me a pool
 //! of *this* kind for *P* places with *these* parameters". Before this
-//! module, every one of them carried its own four-arm `match PoolKind`
+//! module, every one of them carried its own per-kind `match PoolKind`
 //! block; now they either
 //!
 //! * call [`run_on_kind`] (or [`PoolBuilder::run`]) when they just want to
@@ -11,20 +11,23 @@
 //!   if the concrete type had been named; or
 //! * call [`PoolKind::build`] / [`PoolBuilder::build`] when they need to
 //!   drive place handles themselves (lockstep runners, throughput benches)
-//!   and receive an [`AnyPool`] — a thin enum over the four structures
+//!   and receive an [`AnyPool`] — a thin enum over the five structures
 //!   whose [`PoolHandle`] forwards every operation, including the batched
 //!   ones, to the wrapped handle. The per-operation cost is one predictable
 //!   branch.
 //!
 //! Construction semantics are fixed here once: the centralized structure
 //! consumes [`PoolParams::kmax`], the structural prototype consumes
-//! [`PoolParams::k`], and the other two take only the place count — a
-//! caller can no longer forget one of those knobs (which is exactly how
-//! `kmax` used to silently default in hand-rolled match blocks).
+//! [`PoolParams::k`], the MultiQueue consumes [`PoolParams::mq_c`] /
+//! [`PoolParams::mq_stickiness`] / [`PoolParams::rank_error`], and the
+//! other two take only the place count — a caller can no longer forget
+//! one of those knobs (which is exactly how `kmax` used to silently
+//! default in hand-rolled match blocks).
 
 use crate::centralized::{CentralizedHandle, CentralizedKPriority};
 use crate::hybrid::{HybridHandle, HybridKPriority};
 use crate::ingest::IngressLanes;
+use crate::multiqueue::{MultiQueueHandle, RelaxedMultiQueue};
 use crate::pool::{PoolHandle, PoolKind, PoolParams, TaskPool};
 use crate::scheduler::{RunStats, Scheduler, TaskExecutor};
 use crate::service::PoolService;
@@ -33,7 +36,7 @@ use crate::structural::{StructuralHandle, StructuralKPriority};
 use crate::workstealing::{PriorityWorkStealing, WorkStealingHandle};
 use std::sync::Arc;
 
-/// A [`TaskPool`] of any of the four structures, selected at runtime.
+/// A [`TaskPool`] of any of the five structures, selected at runtime.
 ///
 /// Obtained from [`PoolKind::build`]. Useful when the caller needs the pool
 /// itself (handle-level drivers); when the pool is only scheduled over,
@@ -47,6 +50,8 @@ pub enum AnyPool<T: Send + 'static> {
     Hybrid(Arc<HybridKPriority<T>>),
     /// §5.3 structural prototype.
     Structural(Arc<StructuralKPriority<T>>),
+    /// Relaxed MultiQueue (arXiv 2109.00657).
+    MultiQueue(Arc<RelaxedMultiQueue<T>>),
 }
 
 impl<T: Send + 'static> AnyPool<T> {
@@ -57,6 +62,7 @@ impl<T: Send + 'static> AnyPool<T> {
             AnyPool::Centralized(_) => PoolKind::Centralized,
             AnyPool::Hybrid(_) => PoolKind::Hybrid,
             AnyPool::Structural(_) => PoolKind::Structural,
+            AnyPool::MultiQueue(_) => PoolKind::MultiQueue,
         }
     }
 }
@@ -72,6 +78,8 @@ pub enum AnyHandle<T: Send + 'static> {
     Hybrid(HybridHandle<T>),
     /// Handle of [`StructuralKPriority`].
     Structural(StructuralHandle<T>),
+    /// Handle of [`RelaxedMultiQueue`].
+    MultiQueue(MultiQueueHandle<T>),
 }
 
 impl<T: Send + 'static> TaskPool<T> for AnyPool<T> {
@@ -83,6 +91,7 @@ impl<T: Send + 'static> TaskPool<T> for AnyPool<T> {
             AnyPool::Centralized(p) => p.num_places(),
             AnyPool::Hybrid(p) => p.num_places(),
             AnyPool::Structural(p) => p.num_places(),
+            AnyPool::MultiQueue(p) => p.num_places(),
         }
     }
 
@@ -92,6 +101,7 @@ impl<T: Send + 'static> TaskPool<T> for AnyPool<T> {
             AnyPool::Centralized(p) => AnyHandle::Centralized(p.handle(place)),
             AnyPool::Hybrid(p) => AnyHandle::Hybrid(p.handle(place)),
             AnyPool::Structural(p) => AnyHandle::Structural(p.handle(place)),
+            AnyPool::MultiQueue(p) => AnyHandle::MultiQueue(p.handle(place)),
         }
     }
 }
@@ -103,6 +113,7 @@ impl<T: Send + 'static> PoolHandle<T> for AnyHandle<T> {
             AnyHandle::Centralized(h) => h.push(prio, k, task),
             AnyHandle::Hybrid(h) => h.push(prio, k, task),
             AnyHandle::Structural(h) => h.push(prio, k, task),
+            AnyHandle::MultiQueue(h) => h.push(prio, k, task),
         }
     }
 
@@ -112,6 +123,7 @@ impl<T: Send + 'static> PoolHandle<T> for AnyHandle<T> {
             AnyHandle::Centralized(h) => h.pop_entry(),
             AnyHandle::Hybrid(h) => h.pop_entry(),
             AnyHandle::Structural(h) => h.pop_entry(),
+            AnyHandle::MultiQueue(h) => h.pop_entry(),
         }
     }
 
@@ -121,6 +133,7 @@ impl<T: Send + 'static> PoolHandle<T> for AnyHandle<T> {
             AnyHandle::Centralized(h) => h.push_batch(k, batch),
             AnyHandle::Hybrid(h) => h.push_batch(k, batch),
             AnyHandle::Structural(h) => h.push_batch(k, batch),
+            AnyHandle::MultiQueue(h) => h.push_batch(k, batch),
         }
     }
 
@@ -130,6 +143,7 @@ impl<T: Send + 'static> PoolHandle<T> for AnyHandle<T> {
             AnyHandle::Centralized(h) => h.try_pop_batch(out, max),
             AnyHandle::Hybrid(h) => h.try_pop_batch(out, max),
             AnyHandle::Structural(h) => h.try_pop_batch(out, max),
+            AnyHandle::MultiQueue(h) => h.try_pop_batch(out, max),
         }
     }
 
@@ -139,6 +153,7 @@ impl<T: Send + 'static> PoolHandle<T> for AnyHandle<T> {
             AnyHandle::Centralized(h) => h.stats(),
             AnyHandle::Hybrid(h) => h.stats(),
             AnyHandle::Structural(h) => h.stats(),
+            AnyHandle::MultiQueue(h) => h.stats(),
         }
     }
 }
@@ -147,9 +162,11 @@ impl PoolKind {
     /// Builds a pool of this kind for `places` places.
     ///
     /// The parameter routing is the contract: `params.kmax` configures the
-    /// centralized structure, `params.k` the structural prototype;
-    /// work-stealing and hybrid take only the place count (their relaxation
-    /// behaviour is governed by the per-task `k` of each push).
+    /// centralized structure, `params.k` the structural prototype,
+    /// `params.mq_c`/`params.mq_stickiness`/`params.rank_error` the
+    /// MultiQueue; work-stealing and hybrid take only the place count
+    /// (their relaxation behaviour is governed by the per-task `k` of
+    /// each push).
     pub fn build<T: Send + 'static>(self, places: usize, params: PoolParams) -> AnyPool<T> {
         match self {
             PoolKind::WorkStealing => {
@@ -162,6 +179,9 @@ impl PoolKind {
             PoolKind::Structural => AnyPool::Structural(Arc::new(
                 StructuralKPriority::with_combining(places, params.k, params.combine),
             )),
+            PoolKind::MultiQueue => {
+                AnyPool::MultiQueue(Arc::new(RelaxedMultiQueue::from_params(places, &params)))
+            }
         }
     }
 }
@@ -204,6 +224,11 @@ where
         ))
         .with_fault_policy(policy)
         .run(executor, roots),
+        PoolKind::MultiQueue => {
+            Scheduler::from_pool(RelaxedMultiQueue::from_params(places, &params))
+                .with_fault_policy(policy)
+                .run(executor, roots)
+        }
     }
 }
 
@@ -212,7 +237,7 @@ where
 /// returning at quiescence (see [`Scheduler::run_stream`]).
 ///
 /// Like [`run_on_kind`], dispatch happens once, before the run — every arm
-/// monomorphizes `run_stream` against the concrete structure, so all four
+/// monomorphizes `run_stream` against the concrete structure, so all five
 /// structures get the streamed lifecycle with zero per-operation cost.
 pub fn run_stream_on_kind<T, E>(
     kind: PoolKind,
@@ -246,6 +271,11 @@ where
         ))
         .with_fault_policy(policy)
         .run_stream(executor, roots, ingress),
+        PoolKind::MultiQueue => {
+            Scheduler::from_pool(RelaxedMultiQueue::from_params(places, &params))
+                .with_fault_policy(policy)
+                .run_stream(executor, roots, ingress)
+        }
     }
 }
 
@@ -329,6 +359,29 @@ impl PoolBuilder {
         self
     }
 
+    /// Sets the MultiQueue's queues-per-place factor `c` (see
+    /// [`PoolParams::mq_c`]). Other kinds ignore it.
+    pub fn mq_c(mut self, c: usize) -> Self {
+        self.params.mq_c = c;
+        self
+    }
+
+    /// Sets the MultiQueue's stickiness — consecutive pops served from
+    /// the last successful queue before re-probing (see
+    /// [`PoolParams::mq_stickiness`]). Other kinds ignore it.
+    pub fn mq_stickiness(mut self, stickiness: usize) -> Self {
+        self.params.mq_stickiness = stickiness;
+        self
+    }
+
+    /// Toggles the MultiQueue's rank-error instrument (default off — it
+    /// serializes every operation through the shadow heap; see
+    /// [`PoolParams::rank_error`]). Other kinds ignore it.
+    pub fn rank_error(mut self, enabled: bool) -> Self {
+        self.params.rank_error = enabled;
+        self
+    }
+
     /// Replaces the whole parameter set.
     pub fn params(mut self, params: PoolParams) -> Self {
         self.params = params;
@@ -381,7 +434,7 @@ impl PoolBuilder {
     /// [`PoolService::submit`] / external [`crate::IngestHandle`]
     /// submissions until shutdown, with this builder's
     /// [`PoolBuilder::lane_capacity`] as the backpressure bound. The
-    /// open-world front door for all four structures.
+    /// open-world front door for all five structures.
     pub fn service<T, E>(&self, executor: Arc<E>) -> PoolService<T>
     where
         T: Send + 'static,
@@ -497,6 +550,36 @@ mod tests {
                 AnyPool::Structural(p) => assert_eq!(p.combining(), want),
                 other => panic!("expected structural, got {:?}", other.kind()),
             }
+        }
+    }
+
+    #[test]
+    fn builder_mq_knobs_reach_the_multiqueue_pool() {
+        let pool: Arc<AnyPool<u64>> = PoolBuilder::new(PoolKind::MultiQueue)
+            .places(2)
+            .mq_c(4)
+            .mq_stickiness(8)
+            .rank_error(true)
+            .build();
+        match &*pool {
+            AnyPool::MultiQueue(p) => {
+                assert_eq!(p.c(), 4);
+                assert_eq!(p.stickiness(), 8);
+                assert!(p.rank_error_enabled());
+            }
+            other => panic!("expected multiqueue, got {:?}", other.kind()),
+        }
+        // Default construction clamps mq_c to ≥ 1 and keeps the shadow off.
+        let pool: Arc<AnyPool<u64>> = PoolBuilder::new(PoolKind::MultiQueue)
+            .places(1)
+            .mq_c(0)
+            .build();
+        match &*pool {
+            AnyPool::MultiQueue(p) => {
+                assert_eq!(p.c(), 1);
+                assert!(!p.rank_error_enabled());
+            }
+            other => panic!("expected multiqueue, got {:?}", other.kind()),
         }
     }
 

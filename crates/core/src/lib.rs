@@ -148,9 +148,11 @@
 //! re-check after registration observes any transition whose wake was
 //! skipped by the waiter-count gate (a seq-cst fence pairing; see
 //! [`park`] for the precise argument). Workers additionally rely on a
-//! structural invariant of all four pools — a place's local component is
-//! filled only by its own worker — so a parked worker's component is
-//! empty and remaining work always stays reachable by an awake one.
+//! structural invariant of the exact pools — a place's local component is
+//! filled only by its own worker (the MultiQueue has no private component
+//! and instead scans every shared queue before reporting empty) — so a
+//! parked worker's component is empty and remaining work always stays
+//! reachable by an awake one.
 //!
 //! # Async ingestion
 //!
@@ -171,7 +173,7 @@
 //! handed back, and dropping a pending future revokes its waker
 //! (cancel-safe). [`service::PoolService::join_async`] is the drain wait
 //! as a future on the control slot. The `async_equivalence` integration
-//! test pins async-submitted ≡ blocking-submitted ≡ preseeded on all four
+//! test pins async-submitted ≡ blocking-submitted ≡ preseeded on all five
 //! structures under a tiny lane capacity; no runtime is prescribed — the
 //! in-tree `futures-executor` shim (`block_on` + `LocalPool`) or any
 //! external executor can drive the futures. The `priosched-net` crate
@@ -251,15 +253,28 @@
 //!
 //! # Runtime structure selection
 //!
-//! [`PoolKind`] names the four structures; the [`facade`] module is the
-//! single place a kind becomes a pool. [`run_on_kind`] schedules an
-//! executor on a freshly built pool with **one** dispatch before the run
-//! (the scheduling loop stays monomorphized per structure);
-//! [`PoolKind::build`] / [`PoolBuilder`] return a type-erased [`AnyPool`]
-//! for callers that drive place handles themselves. Construction knobs
-//! travel in [`PoolParams`] (`k` for the structural prototype, `kmax` for
-//! the centralized structure), so sweeping harnesses cannot silently drop
-//! one.
+//! [`PoolKind`] names the five structures — the paper's three, the
+//! structural prototype, and the relaxed MultiQueue
+//! ([`multiqueue::RelaxedMultiQueue`], arXiv 2109.00657); the [`facade`]
+//! module is the single place a kind becomes a pool. [`run_on_kind`]
+//! schedules an executor on a freshly built pool with **one** dispatch
+//! before the run (the scheduling loop stays monomorphized per
+//! structure); [`PoolKind::build`] / [`PoolBuilder`] return a type-erased
+//! [`AnyPool`] for callers that drive place handles themselves.
+//! Construction knobs travel in [`PoolParams`] (`k` for the structural
+//! prototype, `kmax` for the centralized structure, `mq_c` /
+//! `mq_stickiness` / `rank_error` for the MultiQueue), so sweeping
+//! harnesses cannot silently drop one.
+//!
+//! The MultiQueue's relaxation semantics differ in kind, not just in
+//! degree: the paper's structures guarantee a **hard** bound on how many
+//! newer tasks a pop may skip (ρ = k centralized, ρ = P·k hybrid; the
+//! structural prototype bounds rank structurally), while the MultiQueue's
+//! two-choice pop is only **probabilistically** close to the best — the
+//! expected rank error stays O(P) but the worst case is unbounded. Its
+//! rank-error instrument ([`PoolParams::rank_error`], reported on
+//! [`stats::PlaceStats`]) makes that trade measurable instead of
+//! anecdotal.
 //!
 //! # Workloads
 //!
@@ -285,6 +300,7 @@ pub mod garray;
 pub mod hybrid;
 pub mod ingest;
 pub mod item;
+pub mod multiqueue;
 pub mod pareto;
 pub mod park;
 pub mod pool;
@@ -302,6 +318,7 @@ pub use combine::{CombineOp, CombineStats, Combiner};
 pub use facade::{run_on_kind, run_stream_on_kind, AnyHandle, AnyPool, PoolBuilder};
 pub use hybrid::HybridKPriority;
 pub use ingest::{IngestHandle, IngressLanes, SubmitError};
+pub use multiqueue::RelaxedMultiQueue;
 pub use pool::{FaultPolicy, PoolHandle, PoolKind, PoolParams, TaskPool};
 pub use scheduler::{
     panic_message, FailureReport, PoolAborted, RunStats, Scheduler, SpawnCtx, TaskExecutor,

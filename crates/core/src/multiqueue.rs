@@ -1,0 +1,638 @@
+//! Relaxed MultiQueue — the modern probabilistic competitor (PAPERS.md,
+//! "Multi-Queues Can Be State-of-the-Art Priority Schedulers",
+//! arXiv 2109.00657).
+//!
+//! Where the paper's structures buy scalability with a *hard* ρ-bound on
+//! how far a pop may stray from the true best task (ρ = k centralized,
+//! ρ = P·k hybrid), the MultiQueue drops the bound entirely: it keeps
+//! `c·P` plain sequential priority queues (`c` ≥ 1 per place, default
+//! [`DEFAULT_MQ_C`]), each behind its own cache-padded try-lock, and
+//!
+//! * **push** picks a random queue, preferring one whose lock is free
+//!   (bounded try-lock probing, then a blocking fallback — a push never
+//!   fails);
+//! * **pop** peeks the cached tops of **two** random queues and pops the
+//!   better one, retrying with fresh queues when the lock is taken or the
+//!   top was stale. The classic two-choice argument keeps the *expected*
+//!   rank error O(P) — but the worst case is unbounded, which is exactly
+//!   the trade this structure makes against the paper's ρ-bounded designs.
+//!
+//! **Stickiness** (§4 of the Multi-Queues paper, a tunable here —
+//! [`PoolParams::mq_stickiness`]): after a successful pop a place keeps
+//! popping the *same* queue for the next `stickiness` pops before probing
+//! two fresh queues again. This trades ordering quality for locality:
+//! consecutive pops hit a lock and heap already in this core's cache.
+//!
+//! # Top caching and the empty path
+//!
+//! Each queue carries an `AtomicU64` mirror of its best priority
+//! (`u64::MAX` = empty), rewritten under the queue lock after every
+//! mutation, so the two-choice peek is a pair of loads — no locking on
+//! the compare, locking only to take. A pop that drew two apparently
+//! empty queues (or lost its locks) falls back to an **exhaustive scan**
+//! of all `c·P` queues before giving up. That scan is what makes the
+//! scheduler's parking machinery safe on this structure: a parked worker
+//! holds no queue lock, so when the last awake worker scans, every queue
+//! holding a stranded task is either lockable (the scan finds the task)
+//! or held by another *awake* worker (which is making progress). `None`
+//! is therefore only ever returned in states where retrying can observe
+//! the missing tasks — the contract [`TaskPool`] requires — and
+//! quiescence itself comes from the scheduler's pending counter, never
+//! from this structure's emptiness.
+//!
+//! # Rank-error instrument
+//!
+//! With [`PoolParams::rank_error`] set, the pool additionally maintains a
+//! **shadow multiset** of every queued priority behind one global mutex.
+//! Each pop then reports its *rank error* — how many strictly better
+//! priorities were queued at the moment it committed — onto
+//! [`PlaceStats`] (`rank_pops`/`rank_sum`/`rank_max` and a log₂ histogram
+//! for p99). The shadow lock serializes every operation, so the
+//! instrument is **off by default** and must never be enabled in a timing
+//! arm; benches run each cell twice (uninstrumented for time,
+//! instrumented for quality). Single-threaded the measurement is exact —
+//! with `c = 1` and one place it must read zero, the self-check
+//! `tests/multiqueue_quality.rs` pins — while under concurrency shadow
+//! updates are ordered insert-before-push / remove-after-pop, so a
+//! measured rank can transiently count an element another thread is still
+//! committing: a conservative (never understating) estimate.
+
+use crate::pool::{PoolHandle, PoolParams, TaskPool};
+use crate::stats::{rank_bucket, PlaceStats};
+use crate::util::XorShift64;
+use crossbeam_utils::CachePadded;
+use parking_lot::Mutex;
+use priosched_pq::{BinaryHeap, SequentialPriorityQueue};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Default queues-per-place factor `c` (the Multi-Queues paper finds
+/// small constants ≥ 2 sufficient to keep contention negligible).
+pub const DEFAULT_MQ_C: usize = 2;
+
+/// Queue entry: priority, per-place insertion sequence (deterministic
+/// tiebreak within a place), task.
+struct MqEntry<T> {
+    prio: u64,
+    seq: u64,
+    task: T,
+}
+
+impl<T> PartialEq for MqEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.prio == other.prio && self.seq == other.seq
+    }
+}
+impl<T> Eq for MqEntry<T> {}
+impl<T> PartialOrd for MqEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for MqEntry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.prio, self.seq).cmp(&(other.prio, other.seq))
+    }
+}
+
+/// One of the `c·P` queues: the heap behind its try-lock plus the
+/// lock-free mirror of its best priority (`u64::MAX` = empty), padded to
+/// its own cache line so two-choice peeks never false-share.
+struct MqQueue<T> {
+    heap: Mutex<BinaryHeap<MqEntry<T>>>,
+    top: AtomicU64,
+}
+
+impl<T> MqQueue<T> {
+    fn new() -> Self {
+        MqQueue {
+            heap: Mutex::new(BinaryHeap::new()),
+            top: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    /// Refreshes the top mirror from the (locked) heap. Callers must hold
+    /// the heap lock — the store is only correct while the heap cannot
+    /// move underneath it.
+    fn refresh_top(&self, heap: &BinaryHeap<MqEntry<T>>) {
+        let top = heap.peek().map_or(u64::MAX, |e| e.prio);
+        self.top.store(top, Ordering::Release);
+    }
+}
+
+/// Shadow multiset of all queued priorities — the rank-error oracle.
+#[derive(Default)]
+struct Shadow {
+    counts: BTreeMap<u64, u64>,
+}
+
+impl Shadow {
+    fn insert(&mut self, prio: u64) {
+        *self.counts.entry(prio).or_insert(0) += 1;
+    }
+
+    fn insert_all(&mut self, prios: impl Iterator<Item = u64>) {
+        for prio in prios {
+            self.insert(prio);
+        }
+    }
+
+    /// Removes one instance of `prio` and returns how many strictly
+    /// better (smaller) priorities were present — the pop's rank error.
+    fn remove_and_rank(&mut self, prio: u64) -> u64 {
+        let rank = self.counts.range(..prio).map(|(_, c)| *c).sum();
+        if let Some(c) = self.counts.get_mut(&prio) {
+            *c -= 1;
+            if *c == 0 {
+                self.counts.remove(&prio);
+            }
+        }
+        rank
+    }
+}
+
+/// Shared component: `c·P` lockable sequential queues plus the optional
+/// rank-error shadow.
+pub struct RelaxedMultiQueue<T: Send + 'static> {
+    queues: Box<[CachePadded<MqQueue<T>>]>,
+    nplaces: usize,
+    stickiness: usize,
+    shadow: Option<Mutex<Shadow>>,
+}
+
+impl<T: Send + 'static> RelaxedMultiQueue<T> {
+    /// Creates the structure for `nplaces` places with `c` queues per
+    /// place, no stickiness, and the rank instrument off.
+    ///
+    /// # Panics
+    /// Panics if `nplaces == 0` or `c == 0`.
+    pub fn new(nplaces: usize, c: usize) -> Self {
+        Self::with_options(nplaces, c, 0, false)
+    }
+
+    /// Creates the structure with every knob explicit: `c` queues per
+    /// place, `stickiness` consecutive same-queue pops after a success
+    /// (0 = classic two-choice on every pop), and optionally the shadow
+    /// rank-error instrument (serializes all ops — measurement runs only).
+    ///
+    /// # Panics
+    /// Panics if `nplaces == 0` or `c == 0`.
+    pub fn with_options(nplaces: usize, c: usize, stickiness: usize, rank_error: bool) -> Self {
+        assert!(nplaces > 0, "need at least one place");
+        assert!(c > 0, "need at least one queue per place");
+        RelaxedMultiQueue {
+            queues: (0..nplaces * c)
+                .map(|_| CachePadded::new(MqQueue::new()))
+                .collect(),
+            nplaces,
+            stickiness,
+            shadow: rank_error.then(|| Mutex::new(Shadow::default())),
+        }
+    }
+
+    /// Builds from the facade's parameter block: `mq_c` queues per place
+    /// (clamped to ≥ 1), `mq_stickiness`, `rank_error`.
+    pub fn from_params(nplaces: usize, params: &PoolParams) -> Self {
+        Self::with_options(
+            nplaces,
+            params.mq_c.max(1),
+            params.mq_stickiness,
+            params.rank_error,
+        )
+    }
+
+    /// The configured queues-per-place factor `c`.
+    pub fn c(&self) -> usize {
+        self.queues.len() / self.nplaces
+    }
+
+    /// The configured stickiness (pops per queue after a success).
+    pub fn stickiness(&self) -> usize {
+        self.stickiness
+    }
+
+    /// Whether the rank-error shadow instrument is active.
+    pub fn rank_error_enabled(&self) -> bool {
+        self.shadow.is_some()
+    }
+
+    /// Total tasks currently queued across all queues (diagnostics; racy).
+    pub fn queued(&self) -> usize {
+        self.queues.iter().map(|q| q.heap.lock().len()).sum()
+    }
+}
+
+impl<T: Send + 'static> TaskPool<T> for RelaxedMultiQueue<T> {
+    type Handle = MultiQueueHandle<T>;
+
+    fn num_places(&self) -> usize {
+        self.nplaces
+    }
+
+    fn handle(self: &Arc<Self>, place: usize) -> MultiQueueHandle<T> {
+        assert!(place < self.nplaces, "place {place} out of range");
+        MultiQueueHandle {
+            place,
+            seq: 0,
+            rng: XorShift64::new(0x4D51_0000 ^ place as u64),
+            stats: PlaceStats::default(),
+            sticky: usize::MAX,
+            sticky_left: 0,
+            shared: Arc::clone(self),
+        }
+    }
+}
+
+/// One place's view of the MultiQueue.
+pub struct MultiQueueHandle<T: Send + 'static> {
+    shared: Arc<RelaxedMultiQueue<T>>,
+    place: usize,
+    seq: u64,
+    rng: XorShift64,
+    stats: PlaceStats,
+    /// Queue index of the last successful pop (`usize::MAX` = none).
+    sticky: usize,
+    /// Remaining pops allowed to reuse `sticky` before re-probing.
+    sticky_left: usize,
+}
+
+impl<T: Send + 'static> MultiQueueHandle<T> {
+    /// The place this handle was created for.
+    pub fn place(&self) -> usize {
+        self.place
+    }
+
+    /// Records a committed pop's rank error against the shadow (no-op
+    /// when the instrument is off).
+    fn record_rank(&mut self, prio: u64) {
+        if let Some(shadow) = &self.shared.shadow {
+            let rank = shadow.lock().remove_and_rank(prio);
+            self.stats.rank_pops += 1;
+            self.stats.rank_sum += rank;
+            self.stats.rank_max = self.stats.rank_max.max(rank);
+            self.stats.rank_hist[rank_bucket(rank)] += 1;
+        }
+    }
+
+    /// Takes the best entry of queue `idx` if its lock is free and it is
+    /// non-empty; refreshes the top mirror either way.
+    fn try_pop_from(&mut self, idx: usize) -> Option<(u64, T)> {
+        let q = &self.shared.queues[idx];
+        let mut heap = q.heap.try_lock()?;
+        let entry = heap.pop();
+        q.refresh_top(&heap);
+        drop(heap);
+        entry.map(|e| (e.prio, e.task))
+    }
+
+    /// Bookkeeping shared by every successful pop path.
+    fn commit_pop(&mut self, idx: usize, prio: u64) {
+        self.sticky = idx;
+        self.sticky_left = self.shared.stickiness;
+        self.stats.pops += 1;
+        self.record_rank(prio);
+    }
+}
+
+impl<T: Send + 'static> PoolHandle<T> for MultiQueueHandle<T> {
+    /// Pushes to a random queue, preferring an unlocked one; `k` is
+    /// ignored — the MultiQueue has no relaxation bound to parameterize.
+    fn push(&mut self, prio: u64, _k: usize, task: T) {
+        if let Some(shadow) = &self.shared.shadow {
+            shadow.lock().insert(prio);
+        }
+        let entry = MqEntry {
+            prio,
+            seq: self.seq,
+            task,
+        };
+        self.seq += 1;
+        let nq = self.shared.queues.len();
+        // Bounded probing for a free lock, then block on a random queue —
+        // a push must never fail, and with c·P queues the blocking
+        // fallback is rare even under full contention.
+        let attempts = 2 * nq;
+        for _ in 0..attempts {
+            let i = self.rng.below(nq as u64) as usize;
+            let q = &self.shared.queues[i];
+            if let Some(mut heap) = q.heap.try_lock() {
+                heap.push(entry);
+                q.refresh_top(&heap);
+                self.stats.pushes += 1;
+                return;
+            }
+        }
+        let i = self.rng.below(nq as u64) as usize;
+        let q = &self.shared.queues[i];
+        let mut heap = q.heap.lock();
+        heap.push(entry);
+        q.refresh_top(&heap);
+        drop(heap);
+        self.stats.pushes += 1;
+    }
+
+    fn pop_entry(&mut self) -> Option<(u64, T)> {
+        let nq = self.shared.queues.len();
+        // Stickiness (§4): keep draining the queue that last served us.
+        if self.sticky_left > 0 && self.sticky < nq {
+            self.sticky_left -= 1;
+            let idx = self.sticky;
+            if let Some((prio, task)) = self.try_pop_from(idx) {
+                self.stats.pops += 1;
+                self.record_rank(prio);
+                return Some((prio, task));
+            }
+            // Lost the lock or the queue ran dry: fall through to probing.
+            self.sticky_left = 0;
+        }
+        // Classic two-choice: peek two random tops, take the better one.
+        let attempts = 2 * nq;
+        for _ in 0..attempts {
+            let i = self.rng.below(nq as u64) as usize;
+            let j = self.rng.below(nq as u64) as usize;
+            let ti = self.shared.queues[i].top.load(Ordering::Acquire);
+            let tj = self.shared.queues[j].top.load(Ordering::Acquire);
+            let (idx, top) = if ti <= tj { (i, ti) } else { (j, tj) };
+            if top == u64::MAX {
+                // Both drawn queues look empty; draw again (the scan below
+                // is the authoritative emptiness check).
+                continue;
+            }
+            match self.try_pop_from(idx) {
+                Some((prio, task)) => {
+                    self.commit_pop(idx, prio);
+                    return Some((prio, task));
+                }
+                // Lock taken or top was stale (queue drained since the
+                // peek): count the stale observation and retry.
+                None => self.stats.stale_refs += 1,
+            }
+        }
+        // Exhaustive fallback: scan every queue from a random offset. This
+        // is the path that keeps parking safe — see the module docs.
+        let start = self.rng.below(nq as u64) as usize;
+        for off in 0..nq {
+            let idx = (start + off) % nq;
+            if let Some((prio, task)) = self.try_pop_from(idx) {
+                self.commit_pop(idx, prio);
+                return Some((prio, task));
+            }
+        }
+        self.stats.failed_pops += 1;
+        None
+    }
+
+    /// Batch push: the whole batch lands on one queue under a single lock
+    /// acquisition and one top refresh — coarser mixing than scalar
+    /// pushes, which the MultiQueue's unbounded relaxation already admits.
+    fn push_batch(&mut self, _k: usize, batch: &mut Vec<(u64, T)>) {
+        if batch.is_empty() {
+            return;
+        }
+        if let Some(shadow) = &self.shared.shadow {
+            shadow
+                .lock()
+                .insert_all(batch.iter().map(|(prio, _)| *prio));
+        }
+        let n = batch.len() as u64;
+        let base_seq = self.seq;
+        self.seq += n;
+        let nq = self.shared.queues.len();
+        let attempts = 2 * nq;
+        let mut locked = None;
+        for _ in 0..attempts {
+            let i = self.rng.below(nq as u64) as usize;
+            if let Some(heap) = self.shared.queues[i].heap.try_lock() {
+                locked = Some((i, heap));
+                break;
+            }
+        }
+        let (i, mut heap) = locked.unwrap_or_else(|| {
+            let i = self.rng.below(nq as u64) as usize;
+            (i, self.shared.queues[i].heap.lock())
+        });
+        heap.extend_batch(
+            batch
+                .drain(..)
+                .enumerate()
+                .map(|(o, (prio, task))| MqEntry {
+                    prio,
+                    seq: base_seq + o as u64,
+                    task,
+                }),
+        );
+        self.shared.queues[i].refresh_top(&heap);
+        drop(heap);
+        self.stats.pushes += n;
+    }
+
+    fn stats(&self) -> PlaceStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(places: usize, c: usize) -> Arc<RelaxedMultiQueue<u64>> {
+        Arc::new(RelaxedMultiQueue::new(places, c))
+    }
+
+    #[test]
+    fn c1_single_place_pops_in_exact_priority_order() {
+        let p = pool(1, 1);
+        let mut h = p.handle(0);
+        for &x in &[3u64, 1, 4, 1, 5, 9, 2, 6] {
+            h.push(x, 0, x * 10);
+        }
+        let mut out = Vec::new();
+        while let Some(t) = h.pop() {
+            out.push(t);
+        }
+        assert_eq!(out, vec![10, 10, 20, 30, 40, 50, 60, 90]);
+    }
+
+    #[test]
+    fn fifo_tiebreak_on_equal_priority_with_one_queue() {
+        let p = pool(1, 1);
+        let mut h = p.handle(0);
+        h.push(7, 0, 100);
+        h.push(7, 0, 200);
+        h.push(7, 0, 300);
+        assert_eq!(h.pop(), Some(100));
+        assert_eq!(h.pop(), Some(200));
+        assert_eq!(h.pop(), Some(300));
+    }
+
+    #[test]
+    fn exhaustive_scan_finds_tasks_the_two_choice_probe_missed() {
+        // 2 places × c=4 = 8 queues holding a single task: random pairs of
+        // tops often both read MAX, so the fallback scan must find it.
+        let p = pool(2, 4);
+        let mut h0 = p.handle(0);
+        let mut h1 = p.handle(1);
+        for round in 0..50u64 {
+            h0.push(round, 0, round);
+            assert_eq!(h1.pop(), Some(round), "round {round} lost the task");
+        }
+        assert_eq!(h1.pop(), None);
+    }
+
+    #[test]
+    fn exactly_once_across_places_and_queues() {
+        let p = pool(3, 2);
+        let mut handles: Vec<_> = (0..3).map(|i| p.handle(i)).collect();
+        for i in 0..300u64 {
+            handles[(i % 3) as usize].push(i, 0, i);
+        }
+        assert_eq!(p.queued(), 300);
+        let mut got = Vec::new();
+        loop {
+            let mut any = false;
+            for h in handles.iter_mut() {
+                if let Some(t) = h.pop() {
+                    got.push(t);
+                    any = true;
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+        got.sort();
+        assert_eq!(got, (0..300).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batch_push_round_trips_and_counts() {
+        let p = pool(2, 2);
+        let mut h = p.handle(0);
+        let mut batch: Vec<(u64, u64)> = (0..40).map(|i| (i, i)).collect();
+        h.push_batch(0, &mut batch);
+        assert!(batch.is_empty());
+        assert_eq!(h.stats().pushes, 40);
+        let mut out = Vec::new();
+        let n = h.try_pop_batch(&mut out, 64);
+        assert_eq!(n, 40);
+        out.sort();
+        assert_eq!(out, (0..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_pop_fails_and_counts() {
+        let p = pool(2, 2);
+        let mut h = p.handle(0);
+        assert_eq!(h.pop(), None);
+        assert_eq!(h.stats().failed_pops, 1);
+    }
+
+    #[test]
+    fn rank_instrument_is_exact_single_threaded() {
+        // c=2 on one place, pushes spread over two queues: the two-choice
+        // pop sometimes takes the worse top, and the instrument must
+        // price that exactly against the shadow.
+        let p = Arc::new(RelaxedMultiQueue::with_options(1, 2, 0, true));
+        assert!(p.rank_error_enabled());
+        let mut h = p.handle(0);
+        for i in 0..200u64 {
+            h.push(i.wrapping_mul(0x9E37_79B9) % 1000, 0, i);
+        }
+        let mut popped = 0;
+        while h.pop().is_some() {
+            popped += 1;
+        }
+        assert_eq!(popped, 200);
+        let s = h.stats();
+        assert_eq!(s.rank_pops, 200);
+        // Mean/max consistency: the histogram holds every measured pop.
+        assert_eq!(s.rank_hist.iter().sum::<u64>(), 200);
+        assert!(s.rank_max as f64 >= s.rank_mean());
+    }
+
+    #[test]
+    fn c1_single_place_measures_zero_rank_error() {
+        let p = Arc::new(RelaxedMultiQueue::with_options(1, 1, 0, true));
+        let mut h = p.handle(0);
+        for i in 0..100u64 {
+            h.push((i * 7919) % 257, 0, i);
+        }
+        while h.pop().is_some() {}
+        let s = h.stats();
+        assert_eq!(s.rank_pops, 100);
+        assert_eq!(s.rank_sum, 0, "one exact queue can never misorder");
+        assert_eq!(s.rank_max, 0);
+        assert_eq!(s.rank_mean(), 0.0);
+        assert_eq!(s.rank_p99(), 0);
+    }
+
+    #[test]
+    fn stickiness_reuses_the_last_queue() {
+        let p = Arc::new(RelaxedMultiQueue::with_options(1, 4, 8, false));
+        assert_eq!(p.stickiness(), 8);
+        let mut h = p.handle(0);
+        for i in 0..64u64 {
+            h.push(i, 0, i);
+        }
+        let mut got = 0;
+        while h.pop().is_some() {
+            got += 1;
+        }
+        assert_eq!(got, 64);
+    }
+
+    #[test]
+    fn from_params_routes_the_mq_knobs() {
+        let params = PoolParams::default()
+            .with_mq_c(3)
+            .with_mq_stickiness(5)
+            .with_rank_error(true);
+        let p: RelaxedMultiQueue<u64> = RelaxedMultiQueue::from_params(2, &params);
+        assert_eq!(p.c(), 3);
+        assert_eq!(p.num_places(), 2);
+        assert_eq!(p.stickiness(), 5);
+        assert!(p.rank_error_enabled());
+    }
+
+    #[test]
+    fn concurrent_stress_exactly_once() {
+        let threads = 4usize;
+        let per = 5_000u64;
+        let p = Arc::new(RelaxedMultiQueue::<u64>::with_options(threads, 2, 4, false));
+        let taken: Arc<Vec<std::sync::atomic::AtomicU32>> =
+            Arc::new((0..threads as u64 * per).map(|_| 0.into()).collect());
+        let popped = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let p = Arc::clone(&p);
+                let taken = Arc::clone(&taken);
+                let popped = Arc::clone(&popped);
+                s.spawn(move || {
+                    let mut h = p.handle(t);
+                    let mut rng = XorShift64::new(t as u64);
+                    let mut pushed = 0u64;
+                    loop {
+                        if pushed < per && rng.below(2) == 0 {
+                            h.push(rng.below(1000), 0, t as u64 * per + pushed);
+                            pushed += 1;
+                        } else if let Some(got) = h.pop() {
+                            use std::sync::atomic::Ordering;
+                            let prev = taken[got as usize].fetch_add(1, Ordering::Relaxed);
+                            assert_eq!(prev, 0);
+                            popped.fetch_add(1, Ordering::Relaxed);
+                        } else if pushed == per {
+                            use std::sync::atomic::Ordering;
+                            if popped.load(Ordering::Relaxed) == threads as u64 * per {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+        });
+        use std::sync::atomic::Ordering;
+        assert_eq!(popped.load(Ordering::Relaxed), threads as u64 * per);
+    }
+}

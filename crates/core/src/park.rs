@@ -81,15 +81,19 @@
 //! suffices to observe pool state. The scheduler's events are enumerated
 //! in [`crate::ingest`] (submissions, drains, spawns, the pending counter
 //! reaching zero, producer-count reaching zero, abort). The re-check is
-//! reliable because of a structural invariant shared by all four pool
+//! reliable because of a structural invariant shared by the exact pool
 //! implementations: **a place's local component is filled only by its own
 //! worker** (pushes, steals, raids, and lane drains all land in the
 //! *executing* place's component). A worker only parks after its own pop
 //! failed, so a parked worker's local component is empty and stays empty;
 //! any remaining task is therefore in an *awake* worker's local component
 //! (its next pop finds it) or in a shared component that pops scan
-//! deterministically. The "all workers parked with work remaining" state
-//! is unreachable.
+//! deterministically. The relaxed MultiQueue satisfies the invariant
+//! vacuously — it has no per-place private component at all; every queue
+//! is shared, and its pop ends with an exhaustive try-lock scan of all
+//! c·P queues before reporting empty (see [`crate::multiqueue`]). Either
+//! way, the "all workers parked with work remaining" state is
+//! unreachable.
 //!
 //! [`SeqCst`]: std::sync::atomic::Ordering::SeqCst
 

@@ -138,6 +138,23 @@ pub struct PoolParams {
     /// `true`; `false` preserves the plain-mutex path for A/B comparison.
     /// Ignored by the other structures (until they grow combining too).
     pub combine: bool,
+    /// Queues-per-place factor `c` of the relaxed MultiQueue (the pool
+    /// keeps `c·P` queues). Defaults to [`DEFAULT_MQ_C`]; values below 1
+    /// are clamped to 1 at construction. Ignored by the exact structures.
+    pub mq_c: usize,
+    /// MultiQueue stickiness (§4 of the Multi-Queues paper): after a
+    /// successful pop a place keeps popping the same queue for this many
+    /// further pops before probing two fresh random queues. 0 (the
+    /// default) is the classic two-choice pop. Ignored by the exact
+    /// structures.
+    pub mq_stickiness: usize,
+    /// Enables the MultiQueue's rank-error instrument: a shadow exact
+    /// multiset records, for every pop, how many strictly better
+    /// priorities were queued ([`crate::stats::PlaceStats::rank_pops`]
+    /// and friends). The shadow serializes every operation — keep this
+    /// off (the default) in any timing measurement. Ignored by the exact
+    /// structures, whose rank behaviour is ρ-bounded by construction.
+    pub rank_error: bool,
 }
 
 /// The paper's default relaxation parameter (k = 512, found to be a good
@@ -147,6 +164,10 @@ pub const DEFAULT_K: usize = 512;
 /// The paper's `kmax` for the centralized structure.
 pub const DEFAULT_KMAX: u32 = 512;
 
+/// Default MultiQueue queues-per-place factor (re-exported from
+/// [`crate::multiqueue`] for parameter-block callers).
+pub use crate::multiqueue::DEFAULT_MQ_C;
+
 impl Default for PoolParams {
     fn default() -> Self {
         PoolParams {
@@ -155,6 +176,9 @@ impl Default for PoolParams {
             lane_capacity: None,
             fault_policy: FaultPolicy::AbortRun,
             combine: true,
+            mq_c: DEFAULT_MQ_C,
+            mq_stickiness: 0,
+            rank_error: false,
         }
     }
 }
@@ -167,9 +191,7 @@ impl PoolParams {
         PoolParams {
             k,
             kmax: (k.min(u32::MAX as usize) as u32).max(DEFAULT_KMAX),
-            lane_capacity: None,
-            fault_policy: FaultPolicy::AbortRun,
-            combine: true,
+            ..PoolParams::default()
         }
     }
 
@@ -190,6 +212,27 @@ impl PoolParams {
     /// The same parameters with a fault policy (see [`FaultPolicy`]).
     pub fn with_fault_policy(mut self, policy: FaultPolicy) -> Self {
         self.fault_policy = policy;
+        self
+    }
+
+    /// The same parameters with the MultiQueue's queues-per-place factor
+    /// (see [`PoolParams::mq_c`]).
+    pub fn with_mq_c(mut self, c: usize) -> Self {
+        self.mq_c = c;
+        self
+    }
+
+    /// The same parameters with the MultiQueue's stickiness (see
+    /// [`PoolParams::mq_stickiness`]).
+    pub fn with_mq_stickiness(mut self, stickiness: usize) -> Self {
+        self.mq_stickiness = stickiness;
+        self
+    }
+
+    /// The same parameters with the rank-error instrument toggled (see
+    /// [`PoolParams::rank_error`]).
+    pub fn with_rank_error(mut self, enabled: bool) -> Self {
+        self.rank_error = enabled;
         self
     }
 }
@@ -232,6 +275,9 @@ pub enum PoolKind {
     Hybrid,
     /// §5.3 prototype — structural (non-temporal) ρ-relaxation.
     Structural,
+    /// Relaxed MultiQueue (arXiv 2109.00657) — c·P sequential queues with
+    /// two-choice pop; probabilistic relaxation, **no** ρ bound.
+    MultiQueue,
 }
 
 impl PoolKind {
@@ -243,14 +289,16 @@ impl PoolKind {
         PoolKind::Hybrid,
     ];
 
-    /// Every structure in the crate, including the structural prototype —
-    /// the sweep set for correctness matrices and the workload harness.
-    /// Use [`PoolKind::PAPER`] where figure parity matters.
-    pub const ALL: [PoolKind; 4] = [
+    /// Every structure in the crate, including the structural prototype
+    /// and the relaxed MultiQueue — the sweep set for correctness
+    /// matrices and the workload harness. Use [`PoolKind::PAPER`] where
+    /// figure parity matters.
+    pub const ALL: [PoolKind; 5] = [
         PoolKind::WorkStealing,
         PoolKind::Centralized,
         PoolKind::Hybrid,
         PoolKind::Structural,
+        PoolKind::MultiQueue,
     ];
 
     /// Display label matching the paper's figure legends.
@@ -260,6 +308,7 @@ impl PoolKind {
             PoolKind::Centralized => "Centralized",
             PoolKind::Hybrid => "Hybrid",
             PoolKind::Structural => "Structural",
+            PoolKind::MultiQueue => "MultiQueue",
         }
     }
 
@@ -271,6 +320,7 @@ impl PoolKind {
             PoolKind::Centralized => "centralized",
             PoolKind::Hybrid => "hybrid",
             PoolKind::Structural => "structural",
+            PoolKind::MultiQueue => "multiqueue",
         }
     }
 }
@@ -279,7 +329,8 @@ impl std::str::FromStr for PoolKind {
     type Err = String;
 
     /// Accepts the snake-case [`PoolKind::id`], the figure-legend
-    /// [`PoolKind::label`] (case-insensitive), or the short alias `ws`.
+    /// [`PoolKind::label`] (case-insensitive), or the short aliases `ws`
+    /// and `mq`.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let lower = s.to_ascii_lowercase();
         match lower.as_str() {
@@ -287,9 +338,10 @@ impl std::str::FromStr for PoolKind {
             "centralized" => Ok(PoolKind::Centralized),
             "hybrid" => Ok(PoolKind::Hybrid),
             "structural" => Ok(PoolKind::Structural),
+            "multiqueue" | "multi_queue" | "multi-queue" | "mq" => Ok(PoolKind::MultiQueue),
             _ => Err(format!(
                 "unknown pool kind {s:?} (expected one of: work_stealing, \
-                 centralized, hybrid, structural)"
+                 centralized, hybrid, structural, multiqueue)"
             )),
         }
     }
@@ -314,13 +366,15 @@ mod tests {
     }
 
     #[test]
-    fn all_extends_paper_with_structural() {
-        assert_eq!(PoolKind::ALL.len(), 4);
+    fn all_extends_paper_with_extensions() {
+        assert_eq!(PoolKind::ALL.len(), 5);
         for kind in PoolKind::PAPER {
             assert!(PoolKind::ALL.contains(&kind));
         }
-        assert!(PoolKind::ALL.contains(&PoolKind::Structural));
-        assert!(!PoolKind::PAPER.contains(&PoolKind::Structural));
+        for extension in [PoolKind::Structural, PoolKind::MultiQueue] {
+            assert!(PoolKind::ALL.contains(&extension));
+            assert!(!PoolKind::PAPER.contains(&extension));
+        }
     }
 
     #[test]
@@ -330,6 +384,11 @@ mod tests {
             assert_eq!(kind.label().parse::<PoolKind>().unwrap(), kind);
         }
         assert_eq!("ws".parse::<PoolKind>().unwrap(), PoolKind::WorkStealing);
+        assert_eq!("mq".parse::<PoolKind>().unwrap(), PoolKind::MultiQueue);
+        assert_eq!(
+            "multi_queue".parse::<PoolKind>().unwrap(),
+            PoolKind::MultiQueue
+        );
         assert!("bogus".parse::<PoolKind>().is_err());
     }
 
@@ -346,5 +405,11 @@ mod tests {
         assert_eq!(PoolParams::with_k(8).kmax, 512);
         assert_eq!(PoolParams::with_k(8192).kmax, 8192);
         assert_eq!(PoolParams::with_k(8192).k, 8192);
+        // MultiQueue knobs: c = 2, no stickiness, instrument off.
+        assert_eq!(p.mq_c, DEFAULT_MQ_C);
+        assert_eq!(p.mq_stickiness, 0);
+        assert!(!p.rank_error);
+        let q = p.with_mq_c(4).with_mq_stickiness(8).with_rank_error(true);
+        assert_eq!((q.mq_c, q.mq_stickiness, q.rank_error), (4, 8, true));
     }
 }

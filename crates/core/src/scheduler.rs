@@ -1043,6 +1043,16 @@ impl std::fmt::Display for RunStats {
                 self.pool.combine_parks,
             )?;
         }
+        if self.pool.rank_pops > 0 {
+            write!(
+                f,
+                "; rank error: {:.2} mean, {} p99, {} max over {} pops",
+                self.pool.rank_mean(),
+                self.pool.rank_p99(),
+                self.pool.rank_max,
+                self.pool.rank_pops,
+            )?;
+        }
         if self.failed > 0 {
             write!(f, "; {} failed (quarantined)", self.failed)?;
         }

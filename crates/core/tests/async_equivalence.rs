@@ -3,7 +3,7 @@
 //! the pool computes.
 //!
 //! The satellite proptest pins **preseeded ≡ blocking-submitted ≡
-//! async-submitted** on all four structures with a tiny `lane_capacity`
+//! async-submitted** on all five structures with a tiny `lane_capacity`
 //! (4), so the async producers constantly hit `Full`, deposit their
 //! wakers, and are re-polled by worker drains: the `Full → Poll::Pending`
 //! machinery runs for real in every case, driven by the in-tree
@@ -158,7 +158,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// The acceptance-criteria proptest: async-submitted ≡
-    /// blocking-submitted ≡ preseeded on all four structures with
+    /// blocking-submitted ≡ preseeded on all five structures with
     /// `lane_capacity = 4`.
     #[test]
     fn async_blocking_and_preseeded_agree(

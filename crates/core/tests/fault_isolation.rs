@@ -11,7 +11,7 @@
 //!   submitted`, with one failure report per bomb.
 //!
 //! Both properties hold for arbitrary task multisets, producer counts,
-//! and all four [`PoolKind`]s — proptest shrinks any interleaving that
+//! and all five [`PoolKind`]s — proptest shrinks any interleaving that
 //! breaks them.
 
 use priosched_core::{

@@ -1,0 +1,218 @@
+//! Quality gates for the relaxed MultiQueue (`PoolKind::MultiQueue`).
+//!
+//! The MultiQueue trades the paper's hard ρ bounds for probabilistic
+//! relaxation, so its correctness story rests on two pillars, pinned
+//! here:
+//!
+//! 1. **Conservation under real concurrency** — every submitted task is
+//!    popped exactly once (no loss, no duplication) with concurrent
+//!    push/pop on every place count, across the c and stickiness knobs.
+//!    The single-threaded oracle matrix cannot see lock races on the
+//!    `c·P` queues or stale top-mirror reads; this suite drives them
+//!    directly.
+//! 2. **Instrument self-validation** — the rank-error shadow must read
+//!    *zero* in the one configuration where the structure is exact
+//!    (c = 1, one place: a single sequential queue), and must account
+//!    for every pop whenever it is on. A measurement layer that can't
+//!    pass its own null experiment can't be trusted on the real one.
+
+use priosched_core::{PoolBuilder, PoolHandle, PoolKind, PoolParams, RelaxedMultiQueue, TaskPool};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Drives one concurrent worker per place over one MultiQueue, each
+/// pushing `per` uniquely-payloaded tasks at pseudo-random priorities
+/// while popping, until everything pushed has been popped exactly once.
+/// Panics (inside a worker) on any duplicated pop, and afterwards on any
+/// task not taken exactly once.
+fn concurrent_exactly_once(places: usize, c: usize, stickiness: usize, per: u64) {
+    let pool = Arc::new(RelaxedMultiQueue::<u64>::with_options(
+        places, c, stickiness, false,
+    ));
+    let total = places as u64 * per;
+    let taken: Arc<Vec<AtomicU32>> = Arc::new((0..total).map(|_| 0.into()).collect());
+    let popped = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|s| {
+        for t in 0..places {
+            let pool = Arc::clone(&pool);
+            let taken = Arc::clone(&taken);
+            let popped = Arc::clone(&popped);
+            s.spawn(move || {
+                let mut h = pool.handle(t);
+                // Mix scalar and batched pushes so both landing paths run.
+                let mut pushed = 0u64;
+                let mut batch: Vec<(u64, u64)> = Vec::new();
+                let mut step = 0u64;
+                loop {
+                    step = step.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                    if pushed < per && !step.is_multiple_of(3) {
+                        let payload = t as u64 * per + pushed;
+                        let prio = step >> 32;
+                        if step.is_multiple_of(5) {
+                            batch.push((prio, payload));
+                            if batch.len() >= 8 {
+                                h.push_batch(0, &mut batch);
+                            }
+                        } else {
+                            h.push(prio, 0, payload);
+                        }
+                        pushed += 1;
+                    } else if let Some(got) = h.pop() {
+                        let prev = taken[got as usize].fetch_add(1, Ordering::Relaxed);
+                        assert_eq!(prev, 0, "task {got} popped twice");
+                        popped.fetch_add(1, Ordering::Relaxed);
+                    } else if pushed == per {
+                        if !batch.is_empty() {
+                            h.push_batch(0, &mut batch);
+                            continue;
+                        }
+                        if popped.load(Ordering::Relaxed) == total {
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(popped.load(Ordering::Relaxed), total, "tasks lost");
+    for (i, flag) in taken.iter().enumerate() {
+        assert_eq!(flag.load(Ordering::Relaxed), 1, "task {i} not exactly-once");
+    }
+}
+
+#[test]
+fn concurrent_exactly_once_on_all_place_counts() {
+    for places in [1usize, 2, 4] {
+        for (c, stickiness) in [(1usize, 0usize), (2, 0), (2, 8), (4, 4)] {
+            let per = 4_000 / places as u64;
+            concurrent_exactly_once(places, c, stickiness, per);
+        }
+    }
+}
+
+#[test]
+fn c1_single_place_measures_zero_rank_error_against_oracle() {
+    // One place × c = 1 is a single sequential queue: pops must come out
+    // in exact priority order AND the instrument must price every one of
+    // them at rank zero — the null experiment for the rank-error shadow.
+    let pool: Arc<_> = Arc::new(RelaxedMultiQueue::<u64>::with_options(1, 1, 0, true));
+    let mut h = pool.handle(0);
+    let prios: Vec<u64> = (0..500u64).map(|i| (i * 7919) % 263).collect();
+    for (i, &p) in prios.iter().enumerate() {
+        h.push(p, 0, (p << 32) | i as u64);
+    }
+    let mut popped_prios = Vec::new();
+    while let Some((prio, _task)) = h.pop_entry() {
+        popped_prios.push(prio);
+    }
+    // Sequential oracle: the sorted push multiset.
+    let mut expect = prios.clone();
+    expect.sort();
+    assert_eq!(popped_prios, expect, "single queue must be exact");
+    let s = h.stats();
+    assert_eq!(s.rank_pops, 500, "instrument must account for every pop");
+    assert_eq!(s.rank_sum, 0, "an exact structure has zero rank error");
+    assert_eq!(s.rank_max, 0);
+    assert_eq!(s.rank_mean(), 0.0);
+    assert_eq!(s.rank_p99(), 0);
+}
+
+#[test]
+fn instrument_accounts_for_every_pop_with_relaxation() {
+    // c = 4 on one place misorders freely, but the instrument must still
+    // balance: every pop measured, histogram mass == rank_pops, and the
+    // summary statistics mutually consistent.
+    let pool: Arc<_> = Arc::new(RelaxedMultiQueue::<u64>::with_options(1, 4, 2, true));
+    let mut h = pool.handle(0);
+    for i in 0..1_000u64 {
+        h.push((i * 2654435761) % 4096, 0, i);
+    }
+    let mut got = 0u64;
+    while h.pop().is_some() {
+        got += 1;
+    }
+    assert_eq!(got, 1_000);
+    let s = h.stats();
+    assert_eq!(s.rank_pops, 1_000);
+    assert_eq!(s.rank_hist.iter().sum::<u64>(), 1_000);
+    assert!(s.rank_max as f64 >= s.rank_mean());
+    assert!(s.rank_p99() <= s.rank_max);
+}
+
+#[test]
+fn facade_run_reports_rank_stats_on_run_stats() {
+    // End-to-end through the scheduler: an instrumented MultiQueue run
+    // must surface rank accounting on RunStats.pool (pops measured ==
+    // pool pops), proving the stats plumbing crosses the facade.
+    use priosched_core::{SpawnCtx, TaskExecutor};
+    struct Fan;
+    impl TaskExecutor<u64> for Fan {
+        fn execute(&self, task: u64, ctx: &mut SpawnCtx<'_, u64>) {
+            if task > 0 {
+                ctx.spawn(task - 1, 8, task - 1);
+            }
+        }
+    }
+    let stats = PoolBuilder::new(PoolKind::MultiQueue)
+        .places(2)
+        .mq_c(2)
+        .rank_error(true)
+        .run(&Fan, vec![(64, 8, 64u64)]);
+    assert_eq!(stats.executed, 65);
+    assert_eq!(
+        stats.pool.rank_pops, stats.pool.pops,
+        "every pop must be measured while the instrument is on"
+    );
+    assert_eq!(
+        stats.pool.rank_hist.iter().sum::<u64>(),
+        stats.pool.rank_pops
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Concurrent exactly-once as a property: random place count, c,
+    /// stickiness, and load — no loss, no duplication, ever.
+    #[test]
+    fn concurrent_exactly_once_prop(
+        places_idx in 0usize..3,
+        c in 1usize..4,
+        stickiness in 0usize..8,
+        per in 200u64..1_200,
+    ) {
+        let places = [1usize, 2, 4][places_idx];
+        concurrent_exactly_once(places, c, stickiness, per);
+    }
+
+    /// The null experiment as a property: any priority sequence, pushed
+    /// scalar or batched into the c = 1 single-place queue, measures
+    /// exactly zero rank error.
+    #[test]
+    fn c1_zero_rank_error_prop(
+        prios in proptest::collection::vec(any::<u16>(), 1..200),
+        chunk in 1usize..16,
+    ) {
+        let params = PoolParams::default().with_mq_c(1).with_rank_error(true);
+        let pool: Arc<_> = Arc::new(RelaxedMultiQueue::<u64>::from_params(1, &params));
+        let mut h = pool.handle(0);
+        for group in prios.chunks(chunk) {
+            let mut batch: Vec<(u64, u64)> =
+                group.iter().map(|&p| (p as u64, p as u64)).collect();
+            h.push_batch(0, &mut batch);
+        }
+        let mut out = Vec::new();
+        while let Some((prio, _)) = h.pop_entry() {
+            out.push(prio);
+        }
+        let mut expect: Vec<u64> = prios.iter().map(|&p| p as u64).collect();
+        expect.sort();
+        prop_assert_eq!(out, expect);
+        let s = h.stats();
+        prop_assert_eq!(s.rank_pops as usize, prios.len());
+        prop_assert_eq!(s.rank_sum, 0);
+        prop_assert_eq!(s.rank_max, 0);
+    }
+}

@@ -15,8 +15,8 @@
 //!    priority order for every structure.
 
 use priosched_core::{
-    CentralizedKPriority, HybridKPriority, PoolHandle, PriorityWorkStealing, StructuralKPriority,
-    TaskPool,
+    CentralizedKPriority, HybridKPriority, PoolHandle, PriorityWorkStealing, RelaxedMultiQueue,
+    StructuralKPriority, TaskPool,
 };
 use proptest::prelude::*;
 use std::collections::BTreeMap;
@@ -243,6 +243,15 @@ proptest! {
         run_model_check(Arc::new(StructuralKPriority::new(2, 4)), &ops, 4, None)?;
     }
 
+    /// The relaxed MultiQueue has no ρ bound to check, but conservation
+    /// (exactly-once, nothing lost at drain) must hold like everywhere
+    /// else; c = 2 queues per place exercises the two-choice pop and the
+    /// exhaustive fallback scan.
+    #[test]
+    fn multiqueue_conserves_tasks(ops in ops_strategy(150)) {
+        run_model_check(Arc::new(RelaxedMultiQueue::new(2, 2)), &ops, 4, None)?;
+    }
+
     /// §2.2's temporal bound for the centralized structure, with uniform
     /// per-task k = 4: a pop never ignores a better task older than the
     /// last 4 pushes *to the structure* (global scope).
@@ -366,5 +375,9 @@ proptest! {
         check(Arc::new(CentralizedKPriority::new(1, 32)), &prios)?;
         check(Arc::new(HybridKPriority::new(1)), &prios)?;
         check(Arc::new(StructuralKPriority::new(1, 8)), &prios)?;
+        // MultiQueue: only exact in the degenerate c = 1 single-place
+        // configuration (one queue) — which is precisely the setup the
+        // rank-error instrument self-validates against.
+        check(Arc::new(RelaxedMultiQueue::new(1, 1)), &prios)?;
     }
 }

@@ -6,7 +6,7 @@
 //! parallelization of a multi-objective shortest path search" as planned
 //! future work. `priosched_core::pareto` prototypes the queue itself; this
 //! workload runs the *search* on the ordinary scalar-priority scheduler, so
-//! it sweeps across all four structures like every other workload. That is
+//! it sweeps across all five structures like every other workload. That is
 //! sound because label-correcting with dead-label elimination converges to
 //! the exact fronts under **any** pop order — pop order (here: a
 //! scalarized priority, the sum of both objectives) only shifts how much

@@ -69,7 +69,7 @@ fn mst_matches_kruskal_across_matrix() {
 /// The streamed acceptance matrix: every workload, driven through
 /// `run_workload_streamed` with 4 producer threads feeding sharded
 /// ingestion lanes at 4 places, must match its sequential oracle on all
-/// four structures. This is the committed guarantee that the open-world
+/// five structures. This is the committed guarantee that the open-world
 /// path (lanes → pop-boundary drain → element-wise k/ρ charging →
 /// quiescence termination) cannot be told apart from preseeding by any
 /// oracle.
