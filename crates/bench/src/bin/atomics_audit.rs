@@ -1,0 +1,138 @@
+//! CI gate: every atomic, lock, and thread primitive in `priosched-core`
+//! must route through the `crate::sync` facade.
+//!
+//! The facade is what lets `--cfg loom` swap the whole crate onto the
+//! in-tree loom shim for model checking (see the crate's "Model-checked
+//! properties" docs) — a single direct `std::sync::atomic` / `std::thread`
+//! / `parking_lot` import silently exempts that code from every
+//! interleaving the models explore. This binary walks `crates/core/src`,
+//! strips comments and everything at or below the first `#[cfg(test)]`
+//! line (test modules run only in non-loom builds and may use std
+//! directly), and fails if any forbidden import survives. It also prints a
+//! per-module census of `Ordering::` usage by flavor, so ordering-strength
+//! creep shows up in CI logs.
+//!
+//! Usage: `cargo run -p priosched-bench --bin atomics_audit` (run from
+//! anywhere inside the workspace; the core source dir is located relative
+//! to `CARGO_MANIFEST_DIR`).
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Substrings that must not appear outside the facade and test modules.
+const FORBIDDEN: &[&str] = &["std::sync::atomic", "std::thread", "parking_lot"];
+
+/// The facade itself is the one legitimate home for direct imports.
+const EXEMPT_FILES: &[&str] = &["sync.rs"];
+
+const FLAVORS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+fn core_src_dir() -> PathBuf {
+    // crates/bench -> crates -> workspace root -> crates/core/src
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("bench crate lives under crates/")
+        .join("core")
+        .join("src")
+}
+
+/// The auditable prefix of a source file: comment lines blanked, truncated
+/// at the first line that is exactly a `#[cfg(test)]` attribute.
+fn auditable_lines(text: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let trimmed = line.trim_start();
+        if trimmed == "#[cfg(test)]" {
+            break;
+        }
+        if trimmed.starts_with("//") {
+            out.push((idx + 1, String::new()));
+        } else {
+            out.push((idx + 1, line.to_string()));
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let dir = core_src_dir();
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
+        .filter_map(|entry| {
+            let path = entry.expect("readable dir entry").path();
+            (path.extension().is_some_and(|x| x == "rs")).then_some(path)
+        })
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "no .rs files under {}", dir.display());
+
+    let mut violations = Vec::new();
+    let mut census: BTreeMap<String, BTreeMap<&str, usize>> = BTreeMap::new();
+
+    for path in &files {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        let lines = auditable_lines(&text);
+
+        let counts = census.entry(name.clone()).or_default();
+        for (_, line) in &lines {
+            for flavor in FLAVORS {
+                counts.entry(flavor).or_insert(0);
+                let pat = format!("Ordering::{flavor}");
+                *counts.get_mut(flavor).unwrap() += line.matches(&pat).count();
+            }
+        }
+
+        if EXEMPT_FILES.contains(&name.as_str()) {
+            continue;
+        }
+        for (lineno, line) in &lines {
+            for pat in FORBIDDEN {
+                if line.contains(pat) {
+                    violations.push(format!("{name}:{lineno}: `{pat}` — {}", line.trim()));
+                }
+            }
+        }
+    }
+
+    println!(
+        "atomics audit: {} files under {}",
+        files.len(),
+        dir.display()
+    );
+    println!(
+        "\n{:<18} {:>8} {:>8} {:>8} {:>7} {:>7}",
+        "module", "Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"
+    );
+    for (name, counts) in &census {
+        if counts.values().all(|&c| c == 0) {
+            continue;
+        }
+        println!(
+            "{:<18} {:>8} {:>8} {:>8} {:>7} {:>7}",
+            name,
+            counts["Relaxed"],
+            counts["Acquire"],
+            counts["Release"],
+            counts["AcqRel"],
+            counts["SeqCst"]
+        );
+    }
+
+    if violations.is_empty() {
+        println!("\nOK: all sync primitives route through crate::sync");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "\nFAIL: {} direct sync import(s) bypass the crate::sync facade",
+            violations.len()
+        );
+        for v in &violations {
+            println!("  {v}");
+        }
+        println!("route them through crate::sync so loom models cover this code");
+        ExitCode::FAILURE
+    }
+}

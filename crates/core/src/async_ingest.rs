@@ -299,9 +299,9 @@ impl<T: Send> Drop for SubmitBatchFuture<'_, T> {
 pub struct JoinFuture<'a, T: Send> {
     shared: &'a IngressShared<T>,
     /// The scheduler's outstanding-task counter.
-    pending: &'a std::sync::atomic::AtomicU64,
+    pending: &'a crate::sync::atomic::AtomicU64,
     /// The pool's abort flag (a task panicked under `AbortRun`).
-    abort: &'a std::sync::atomic::AtomicBool,
+    abort: &'a crate::sync::atomic::AtomicBool,
     /// The service's failure state (source of the typed abort outcome).
     faults: &'a FaultCell,
     reg: Option<SlotReg>,
@@ -310,8 +310,8 @@ pub struct JoinFuture<'a, T: Send> {
 impl<'a, T: Send> JoinFuture<'a, T> {
     pub(crate) fn new(
         shared: &'a IngressShared<T>,
-        pending: &'a std::sync::atomic::AtomicU64,
-        abort: &'a std::sync::atomic::AtomicBool,
+        pending: &'a crate::sync::atomic::AtomicU64,
+        abort: &'a crate::sync::atomic::AtomicBool,
         faults: &'a FaultCell,
     ) -> Self {
         JoinFuture {
@@ -324,12 +324,12 @@ impl<'a, T: Send> JoinFuture<'a, T> {
     }
 
     fn drained(&self) -> bool {
-        use std::sync::atomic::Ordering;
+        use crate::sync::atomic::Ordering;
         self.shared.queued_count() == 0 && self.pending.load(Ordering::Acquire) == 0
     }
 
     fn aborted(&self) -> bool {
-        self.abort.load(std::sync::atomic::Ordering::Acquire)
+        self.abort.load(crate::sync::atomic::Ordering::Acquire)
     }
 
     /// The typed abort outcome; the failure record precedes the abort
@@ -396,7 +396,9 @@ impl<T: Send> Drop for JoinFuture<'_, T> {
 mod tests {
     use super::*;
     use crate::ingest::IngressLanes;
-    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    // The facade type, so `drain_into` type-checks under `--cfg loom` too.
+    use crate::sync::atomic::AtomicU64;
+    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::task::Waker;
 
     struct CountWake(AtomicUsize);

@@ -34,10 +34,10 @@ use crate::garray::{GlobalArray, SegmentCursor};
 use crate::item::{Item, ItemCache, ItemPool, ItemRef};
 use crate::pool::{PoolHandle, TaskPool};
 use crate::stats::PlaceStats;
+use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use crate::util::XorShift64;
 use crossbeam_utils::CachePadded;
 use priosched_pq::{BinaryHeap, SequentialPriorityQueue};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Default maximum per-task `k` (§4.1.2: "We chose kmax = 512 for our

@@ -87,9 +87,10 @@
 //! release-or-stronger store pair orders all accesses).
 
 use crate::park::ParkSlot;
+use crate::sync::atomic::{AtomicBool, AtomicU32, AtomicU8, Ordering};
+use crate::sync::cell::UnsafeCell;
+use crate::sync::{hint, thread};
 use crossbeam_utils::CachePadded;
-use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU8, Ordering};
 
 /// An operation that a [`Combiner`] can execute against the protected
 /// sequential structure `S` on behalf of the publishing place.
@@ -141,7 +142,7 @@ const DONE: u8 = 2;
 /// are `yield_now` — on an oversubscribed host the combiner likely lost
 /// the core, and donating the quantum gets the op served for the price of
 /// a scheduler hop instead of a park/wake syscall pair.
-const SPIN_LIMIT: u32 = 64;
+const SPIN_LIMIT: u32 = if cfg!(loom) { 0 } else { 64 };
 /// Busy-spin prefix of [`SPIN_LIMIT`].
 const SPIN_HINT: u32 = 8;
 
@@ -249,16 +250,17 @@ impl<S, O: CombineOp<S>> Combiner<S, O> {
         let slot = &self.slots[place];
         // Fast path: uncontended — combine without publishing.
         if self.try_lock() {
-            // Safety: we hold the combiner lock.
-            let resp = op.apply(unsafe { &mut *self.shared.get() });
+            // SAFETY: we hold the combiner lock, the only license to touch
+            // the shared structure.
+            let resp = self.shared.with_mut(|s| op.apply(unsafe { &mut *s }));
             stats.ops += 1;
             self.run_passes(place, stats);
             self.unlock_and_wake();
             return resp;
         }
         // Slow path: publish, then wait to be served or take over the lock.
-        // Safety: own slot in EMPTY state — only the owner may touch it.
-        unsafe { (*slot.cell.get()).op = Some(op) };
+        // SAFETY: own slot in EMPTY state — only the owner may touch it.
+        slot.cell.with_mut(|c| unsafe { (*c).op = Some(op) });
         self.pending.fetch_add(1, Ordering::AcqRel);
         slot.state.store(PUBLISHED, Ordering::Release);
         let mut spins = 0u32;
@@ -272,26 +274,32 @@ impl<S, O: CombineOp<S>> Combiner<S, O> {
                 let resp = if slot.state.load(Ordering::Acquire) == DONE {
                     self.take_resp(slot)
                 } else {
-                    // Safety: we hold the lock and the slot is PUBLISHED.
-                    let op = unsafe { (*slot.cell.get()).op.take() }.expect("published op");
+                    // SAFETY: we hold the lock and the slot is PUBLISHED —
+                    // no combiner will touch the cell, and we are its owner.
+                    let op = slot
+                        .cell
+                        .with_mut(|c| unsafe { (*c).op.take() })
+                        .expect("published op");
                     slot.state.store(EMPTY, Ordering::Relaxed);
                     self.pending.fetch_sub(1, Ordering::AcqRel);
                     stats.ops += 1;
-                    op.apply(unsafe { &mut *self.shared.get() })
+                    // SAFETY: combiner lock held (as above).
+                    self.shared.with_mut(|s| op.apply(unsafe { &mut *s }))
                 };
                 self.run_passes(place, stats);
                 self.unlock_and_wake();
                 return resp;
             }
+            #[allow(clippy::absurd_extreme_comparisons)] // SPIN_LIMIT is 0 under cfg(loom)
             if spins < SPIN_LIMIT {
                 spins += 1;
                 if spins <= SPIN_HINT {
-                    std::hint::spin_loop();
+                    hint::spin_loop();
                 } else {
                     // Donate the quantum: on an oversubscribed core the
                     // combiner is likely descheduled, and a yield serves
                     // the op far cheaper than a park/wake syscall pair.
-                    std::thread::yield_now();
+                    thread::yield_now();
                 }
                 continue;
             }
@@ -322,9 +330,12 @@ impl<S, O: CombineOp<S>> Combiner<S, O> {
 
     /// Takes the response from an own slot observed `DONE`.
     fn take_resp(&self, slot: &Slot<O, O::Resp>) -> O::Resp {
-        // Safety: state is DONE — only the owner may touch the cell, and
+        // SAFETY: state is DONE — only the owner may touch the cell, and
         // the combiner's release store made the response visible.
-        let resp = unsafe { (*slot.cell.get()).resp.take() }.expect("response for DONE slot");
+        let resp = slot
+            .cell
+            .with_mut(|c| unsafe { (*c).resp.take() })
+            .expect("response for DONE slot");
         slot.state.store(EMPTY, Ordering::Release);
         resp
     }
@@ -332,8 +343,6 @@ impl<S, O: CombineOp<S>> Combiner<S, O> {
     /// Runs up to `max_passes` combining passes. Caller holds the lock;
     /// `place`'s own slot is already EMPTY (served on acquisition).
     fn run_passes(&self, place: usize, stats: &mut CombineStats) {
-        // Safety: we hold the combiner lock.
-        let shared = unsafe { &mut *self.shared.get() };
         for _ in 0..self.max_passes {
             // Nothing published → don't touch P cache-padded slot lines.
             if self.pending.load(Ordering::Acquire) == 0 {
@@ -344,15 +353,34 @@ impl<S, O: CombineOp<S>> Combiner<S, O> {
                 if i == place || slot.state.load(Ordering::Acquire) != PUBLISHED {
                     continue;
                 }
-                // Safety: lock held + slot PUBLISHED — the owner is waiting
+                // SAFETY: lock held + slot PUBLISHED — the owner is waiting
                 // and will not touch the cell until it observes DONE.
-                let cell = unsafe { &mut *slot.cell.get() };
-                let op = cell.op.take().expect("published op");
+                let op = slot
+                    .cell
+                    .with_mut(|c| unsafe { (*c).op.take() })
+                    .expect("published op");
                 self.pending.fetch_sub(1, Ordering::AcqRel);
-                cell.resp = Some(op.apply(shared));
+                // SAFETY: shared-structure access under the combiner lock.
+                let resp = self.shared.with_mut(|s| op.apply(unsafe { &mut *s }));
                 // Response before DONE before wake: a woken waiter must
-                // find its response (module docs).
-                slot.state.store(DONE, Ordering::Release);
+                // find its response (module docs). The mutation self-check
+                // (`--cfg loom_mutate_combine_done`) flips this order and
+                // `tests/loom_models.rs` asserts the model catches the
+                // waiter reading an empty response cell.
+                #[cfg(not(loom_mutate_combine_done))]
+                {
+                    // SAFETY: as above — lock held, owner parked on DONE.
+                    slot.cell.with_mut(|c| unsafe { (*c).resp = Some(resp) });
+                    slot.state.store(DONE, Ordering::Release);
+                }
+                #[cfg(loom_mutate_combine_done)]
+                {
+                    // Deliberately wrong: DONE can become visible before
+                    // the response is written.
+                    slot.state.store(DONE, Ordering::Release);
+                    // SAFETY: as above.
+                    slot.cell.with_mut(|c| unsafe { (*c).resp = Some(resp) });
+                }
                 slot.park.wake_if_waiting();
                 served += 1;
             }

@@ -16,12 +16,13 @@
 //! segment pointers as cursor hints without any epoch protection.
 
 use crate::item::Item;
+use crate::sync::atomic::{AtomicPtr, Ordering};
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, Ordering};
 
 /// Slots per segment. Large enough that segment hops are rare, small enough
-/// that sparse tails don't waste much memory.
-pub const SEGMENT_LEN: usize = 1024;
+/// that sparse tails don't waste much memory. (Tiny under the model, where
+/// each slot registers with the execution.)
+pub const SEGMENT_LEN: usize = if cfg!(loom) { 8 } else { 1024 };
 
 /// One fixed-size chunk of the global array.
 pub struct Segment<T> {
@@ -86,6 +87,8 @@ impl<T: Send> GlobalArray<T> {
     pub fn slot(&self, pos: u64, cursor: &mut SegmentCursor<T>) -> Option<&AtomicPtr<Item<T>>> {
         let mut seg = cursor.seg;
         // (Re)start from the head when the cursor is unset or ahead of pos.
+        // SAFETY: a non-null cursor points into this array's segment list,
+        // and segments are never freed while `self` is alive.
         if seg.is_null() || unsafe { (*seg).base } > pos {
             seg = self.head.load(Ordering::Acquire);
         }
@@ -114,6 +117,8 @@ impl<T: Send> GlobalArray<T> {
             // Cursor now rests on the last existing segment; append after it.
             let last = cursor.seg;
             debug_assert!(!last.is_null());
+            // SAFETY: `slot` left the cursor on a live segment; segments
+            // are never freed while `self` is alive.
             let s = unsafe { &*last };
             let fresh = Box::into_raw(Segment::boxed(s.base + SEGMENT_LEN as u64));
             // Single CAS appends the new array (§4.1.3). On failure another
@@ -134,6 +139,8 @@ impl<T: Send> GlobalArray<T> {
         let mut seg = self.head.load(Ordering::Acquire);
         while !seg.is_null() {
             n += 1;
+            // SAFETY: non-null list node; segments are never freed while
+            // `self` is alive.
             seg = unsafe { &*seg }.next.load(Ordering::Acquire);
         }
         n
@@ -168,13 +175,17 @@ impl<T: Send> GlobalArray<T> {
         let mut freed = 0usize;
         loop {
             let head = self.head.load(Ordering::Acquire);
-            let seg = &*head;
+            // SAFETY: head is never null, and the caller guarantees
+            // exclusive access for the duration of the call.
+            let seg = unsafe { &*head };
             let next = seg.next.load(Ordering::Acquire);
             if next.is_null() || !segment_dead(seg.base, &seg.slots) {
                 return (freed, seg.base);
             }
             self.head.store(next, Ordering::Release);
-            drop(Box::from_raw(head));
+            // SAFETY: exclusivity (above) means no cursor or scan can
+            // still reach the unlinked segment.
+            drop(unsafe { Box::from_raw(head) });
             freed += 1;
         }
     }
@@ -188,8 +199,11 @@ impl<T: Send> Default for GlobalArray<T> {
 
 impl<T> Drop for GlobalArray<T> {
     fn drop(&mut self) {
-        let mut seg = *self.head.get_mut();
+        // Relaxed load instead of `get_mut`: `&mut self` already proves
+        // exclusivity (the model's atomics have no `get_mut`).
+        let mut seg = self.head.load(Ordering::Relaxed);
         while !seg.is_null() {
+            // SAFETY: drop has exclusive ownership of the whole chain.
             let boxed = unsafe { Box::from_raw(seg) };
             seg = boxed.next.load(Ordering::Relaxed);
         }

@@ -23,11 +23,11 @@
 use crate::item::{Item, ItemCache, ItemPool, ItemRef};
 use crate::pool::{PoolHandle, TaskPool};
 use crate::stats::PlaceStats;
+use crate::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use crate::util::XorShift64;
 use crossbeam_utils::CachePadded;
 use priosched_pq::{BinaryHeap, SequentialPriorityQueue};
 use std::ptr;
-use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Items per list segment. Local lists hold up to `k` items, so a segment
@@ -127,6 +127,8 @@ impl<T: Send + 'static> HybridKPriority<T> {
         let mut seg = self.global_head.load(Ordering::Acquire);
         while !seg.is_null() {
             n += 1;
+            // SAFETY: non-null list node; global segments are never freed
+            // outside quiescent `reclaim`, which excludes live readers.
             seg = unsafe { &*seg }.next.load(Ordering::Acquire);
         }
         n - 1 // exclude sentinel
@@ -162,12 +164,14 @@ impl<T: Send + 'static> HybridKPriority<T> {
                 let p = seg.slots[idx].load(Ordering::Acquire);
                 let expected = seg.base_tag + idx as u64 * nplaces;
                 // A live item still carries the tag this slot assigned it.
+                // SAFETY: non-null slots point into the immortal item pool.
                 !p.is_null() && unsafe { &*p }.tag.load(Ordering::Acquire) != expected
             });
             if !all_taken {
                 return freed;
             }
             let next = seg.next.load(Ordering::Acquire);
+            // SAFETY: quiescence (asserted above) — the sentinel is ours.
             unsafe { &*sentinel }.next.store(next, Ordering::Release);
             // SAFETY: unlinked, quiescent — no readers can hold it.
             drop(unsafe { Box::from_raw(first) });
@@ -220,13 +224,16 @@ impl<T: Send + 'static> Drop for HybridKPriority<T> {
         // (publish nulls it before the handle returns), so no double free.
         let free_chain = |mut seg: *mut HSeg<T>| {
             while !seg.is_null() {
+                // SAFETY: drop has exclusive ownership of every chain.
                 let boxed = unsafe { Box::from_raw(seg) };
                 seg = boxed.next.load(Ordering::Relaxed);
             }
         };
-        free_chain(*self.global_head.get_mut());
-        for p in self.places.iter_mut() {
-            free_chain(*p.local_head.get_mut());
+        // Relaxed loads instead of `get_mut`: `&mut self` already proves
+        // exclusivity (the model's atomics have no `get_mut`).
+        free_chain(self.global_head.load(Ordering::Relaxed));
+        for p in self.places.iter() {
+            free_chain(p.local_head.load(Ordering::Relaxed));
         }
     }
 }

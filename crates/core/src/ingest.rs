@@ -101,9 +101,9 @@
 
 use crate::park::Parker;
 use crate::pool::PoolHandle;
+use crate::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use crate::sync::Mutex;
 use crossbeam_utils::CachePadded;
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// One queued submission: priority, relaxation bound, payload.

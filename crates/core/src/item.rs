@@ -40,10 +40,10 @@
 //! [`ItemPool::release`]), so the handoff is race-free without changing the
 //! algorithm's structure.
 
-use std::cell::UnsafeCell;
+use crate::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use crate::sync::cell::UnsafeCell;
 use std::mem::MaybeUninit;
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 
 /// Tag of an item sitting in the free list (or never used). No payload.
 pub const TAG_FREE: u64 = u64::MAX;
@@ -52,10 +52,12 @@ pub const TAG_TAKEN: u64 = u64::MAX - 1;
 /// Exclusive upper bound for position tags.
 pub const MAX_POSITION: u64 = u64::MAX - 2;
 
-/// Items per allocation block.
-const BLOCK_LEN: usize = 1024;
+/// Items per allocation block. Tiny under the model: every atomic field
+/// of every item registers with the execution, and the drop walk visits
+/// all of them.
+const BLOCK_LEN: usize = if cfg!(loom) { 8 } else { 1024 };
 /// Maximum number of blocks (fixed-size directory; ≈ 67M items per pool).
-const MAX_BLOCKS: usize = 65_536;
+const MAX_BLOCKS: usize = if cfg!(loom) { 4 } else { 65_536 };
 /// "No item" marker in the intrusive free list.
 const NIL: u32 = u32::MAX;
 
@@ -109,7 +111,10 @@ impl<T> Item<T> {
     /// returned by [`ItemPool::acquire`], not yet published).
     pub unsafe fn init(&self, place: u32, k: u32, prio: u64, task: T) {
         debug_assert_eq!(self.tag.load(Ordering::Relaxed), TAG_FREE);
-        (*self.payload.get()).write(task);
+        // SAFETY: exclusive ownership per this function's contract.
+        self.payload.with_mut(|p| unsafe {
+            (*p).write(task);
+        });
         self.prio.store(prio, Ordering::Relaxed);
         self.place.store(place, Ordering::Relaxed);
         self.k.store(k, Ordering::Relaxed);
@@ -131,7 +136,7 @@ impl<T> Item<T> {
             // this lifecycle; the publisher's Release store of the tag
             // happens-before our Acquire, making the payload write visible.
             // The item cannot be recycled until we put it back in the pool.
-            Some(unsafe { (*self.payload.get()).assume_init_read() })
+            Some(self.payload.with(|p| unsafe { (*p).assume_init_read() }))
         } else {
             None
         }
@@ -266,6 +271,8 @@ impl<T: Send> ItemPool<T> {
             {
                 #[cfg(debug_assertions)]
                 for &p in &buf[..n] {
+                    // SAFETY: immortal pool memory; we just won the CAS, so
+                    // these nodes are exclusively ours.
                     debug_assert_eq!(
                         unsafe { &*p }.tag.load(Ordering::Relaxed),
                         TAG_FREE,
@@ -342,7 +349,8 @@ impl<T: Send> ItemPool<T> {
     /// [`TAG_TAKEN`] (payload already moved out by [`Item::try_take`]), and
     /// the caller must not touch it afterwards.
     pub unsafe fn release(&self, item: *const Item<T>) {
-        self.release_batch(&[item]);
+        // SAFETY: forwarded contract.
+        unsafe { self.release_batch(&[item]) };
     }
 
     /// Returns a batch of taken items for reuse with a single CAS.
@@ -351,7 +359,9 @@ impl<T: Send> ItemPool<T> {
     /// Every pointer must satisfy the contract of [`ItemPool::release`].
     pub unsafe fn release_batch(&self, items: &[*const Item<T>]) {
         for &p in items {
-            let it = &*p;
+            // SAFETY: caller owns the items exclusively; pool memory is
+            // immortal until drop.
+            let it = unsafe { &*p };
             debug_assert_eq!(it.tag.load(Ordering::Relaxed), TAG_TAKEN);
             // Items in the free list must look FREE so stale `is_live_at`
             // checks fail.
@@ -391,18 +401,23 @@ impl<T: Send> Default for ItemPool<T> {
 
 impl<T> Drop for ItemPool<T> {
     fn drop(&mut self) {
-        for slot in self.blocks.iter_mut() {
-            let block = *slot.get_mut();
+        for slot in self.blocks.iter() {
+            // Relaxed load instead of `get_mut`: `&mut self` already
+            // proves exclusivity (and the model's atomics have no
+            // `get_mut` — a drop decision never branches anyway).
+            let block = slot.load(Ordering::Relaxed);
             if block.is_null() {
                 continue;
             }
+            // SAFETY: the pool owns its blocks; drop has exclusive access.
             let boxed = unsafe { Box::from_raw(block) };
             for item in boxed.items.iter() {
                 // Items that were pushed but never taken still own a task.
                 if item.tag.load(Ordering::Relaxed) < MAX_POSITION {
                     // SAFETY: live tag ⇒ payload initialized and not moved
                     // out; we have exclusive access in drop.
-                    unsafe { (*item.payload.get()).assume_init_drop() };
+                    item.payload
+                        .with_mut(|p| unsafe { (*p).assume_init_drop() });
                 }
             }
         }
@@ -471,7 +486,8 @@ impl<T: Send> ItemCache<T> {
     #[inline]
     pub unsafe fn release(&mut self, pool: &ItemPool<T>, item: *const Item<T>) {
         // Cached items must look FREE so stale `is_live_at` checks fail.
-        let it = &*item;
+        // SAFETY: caller owns the item exclusively (release contract).
+        let it = unsafe { &*item };
         debug_assert_eq!(it.tag.load(Ordering::Relaxed), TAG_TAKEN);
         it.tag.store(TAG_FREE, Ordering::Release);
         self.stash.push(item);

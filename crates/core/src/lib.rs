@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 //! Lock-free data structures for task-based priority scheduling.
 //!
@@ -276,6 +277,38 @@
 //! [`stats::PlaceStats`]) makes that trade measurable instead of
 //! anecdotal.
 //!
+//! # Model-checked properties
+//!
+//! The prose concurrency arguments above are not only argued — the
+//! load-bearing ones are *model-checked*. Every atomic, lock, and thread
+//! primitive in this crate routes through the [`sync`] facade, which under
+//! `--cfg loom` swaps in the in-tree `loom` shim: a deterministic
+//! interleaving explorer that runs a closure under every schedule (bounded
+//! preemption DFS) while modeling relaxed/acquire/release stores through
+//! per-thread store buffers. The models live in the `models` module
+//! (compiled only under `--cfg loom`; run via
+//! `RUSTFLAGS="--cfg loom" cargo test -p priosched-core --test
+//! loom_models`). The mapping from argument to model:
+//!
+//! | Prose argument | Model |
+//! |---|---|
+//! | Parking's register → re-check → park never loses a wakeup against the waiter-count-gated `wake_if_waiting` (the seq-cst fence pairing in [`park`]) | `models::parker_no_lost_wakeup` |
+//! | The combiner's publish / combine / park handoff applies each op exactly once, writes the response **before** the `DONE` flip, and never strands a waiter despite the unfenced post-unlock wake-walk ([`combine`]) | `models::combiner_exactly_once_handoff` |
+//! | The item free list's versioned head defeats ABA on multi-node pops ([`item`], §4.1.3/§4.2.3 tag discipline) | `models::free_list_no_aba_double_pop` |
+//! | The MultiQueue's exhaustive scan finds a present item once the pool is quiescent — the property worker parking rests on ([`multiqueue`] top-caching docs) | `models::multiqueue_scan_finds_present_item` |
+//! | The quiescence read order (producers → queued → pending) never shows "quiescent" while a task is charged to neither counter ([`ingest`]) | `models::ingress_counters_never_hide_a_task` |
+//! | The structural pop's double-lock window (bound snapshot → release → shared query → re-take) hands a raided task to exactly one thread ([`structural`]) | `models::structural_pop_vs_raid_exactly_once` |
+//!
+//! Two **mutation self-checks** validate the checker itself: building with
+//! `--cfg loom_mutate_park_fence` (drops the `wake_if_waiting` fence) or
+//! `--cfg loom_mutate_combine_done` (flips response/`DONE` order) makes
+//! the corresponding model *fail*, which `tests/loom_models.rs` asserts.
+//!
+//! Arguments that remain prose-only (not yet modeled): the async waker
+//! deposit/revoke exactly-once release ([`park::ParkSlot::park_as`]), the
+//! hybrid spy/publish protocol, the centralized window walk, and the
+//! scheduler's abort/failure accounting — see ROADMAP.md.
+//!
 //! # Workloads
 //!
 //! The scheduler is application-agnostic: anything that implements
@@ -300,6 +333,8 @@ pub mod garray;
 pub mod hybrid;
 pub mod ingest;
 pub mod item;
+#[cfg(loom)]
+pub mod models;
 pub mod multiqueue;
 pub mod pareto;
 pub mod park;
@@ -308,6 +343,7 @@ pub mod scheduler;
 pub mod service;
 pub mod stats;
 pub mod structural;
+pub mod sync;
 pub mod task;
 pub(crate) mod util;
 pub mod workstealing;

@@ -59,12 +59,12 @@
 
 use crate::pool::{PoolHandle, PoolParams, TaskPool};
 use crate::stats::{rank_bucket, PlaceStats};
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::Mutex;
 use crate::util::XorShift64;
 use crossbeam_utils::CachePadded;
-use parking_lot::Mutex;
 use priosched_pq::{BinaryHeap, SequentialPriorityQueue};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Default queues-per-place factor `c` (the Multi-Queues paper finds

@@ -18,9 +18,9 @@
 //! interesting (and tested) part is the dominance bookkeeping, which is what
 //! a multi-objective label-setting search needs from its queue.
 
+use crate::sync::Mutex;
 use crate::util::XorShift64;
 use crossbeam_utils::CachePadded;
-use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// A bi-objective priority, e.g. (travel time, cost). Smaller is better in

@@ -95,13 +95,15 @@
 //! way, the "all workers parked with work remaining" state is
 //! unreachable.
 //!
-//! [`SeqCst`]: std::sync::atomic::Ordering::SeqCst
+//! [`SeqCst`]: crate::sync::atomic::Ordering::SeqCst
 
+use crate::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
+use crate::sync::stdsync::{Condvar, Mutex, MutexGuard};
 use crossbeam_utils::CachePadded;
-use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard};
 use std::task::Waker;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+#[cfg(not(loom))]
+use std::time::Instant;
 
 /// The two flavors of waiter a [`ParkSlot`] can hold (see module docs).
 pub enum Waiter<'a> {
@@ -255,6 +257,7 @@ impl ParkSlot {
     /// `true` if woken by an epoch advance, `false` on timeout. Used
     /// where the wait condition can change without a parker event (e.g.
     /// finish-region counters flipped by task completions).
+    #[cfg(not(loom))]
     pub fn park_timeout(&self, token: u64, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
         let mut guard = lock_ignore_poison(&self.mutex);
@@ -269,6 +272,35 @@ impl ParkSlot {
                 Ok((g, _)) => g,
                 Err(p) => p.into_inner().0,
             };
+        };
+        drop(guard);
+        self.waiters.fetch_sub(1, Ordering::Release);
+        woken
+    }
+
+    /// Model build of [`ParkSlot::park_timeout`]: model time does not
+    /// advance, so a scheduler-granted timeout wake *is* deadline expiry —
+    /// re-arming the wait because `Instant::now()` hasn't moved would ask
+    /// the scheduler for unboundedly many timeout wakes (a livelock in the
+    /// explored state space, not in the real code).
+    #[cfg(loom)]
+    pub fn park_timeout(&self, token: u64, timeout: Duration) -> bool {
+        let _ = timeout;
+        let mut guard = lock_ignore_poison(&self.mutex);
+        let woken = loop {
+            if self.epoch.load(Ordering::SeqCst) != token {
+                break true;
+            }
+            let (g, timeout_res) = match self.condvar.wait_timeout(guard, timeout) {
+                Ok(r) => r,
+                Err(p) => p.into_inner(),
+            };
+            guard = g;
+            if timeout_res.timed_out() {
+                // One last epoch check so a wake that raced the timeout is
+                // still reported as a wake, as in the real build.
+                break self.epoch.load(Ordering::SeqCst) != token;
+            }
         };
         drop(guard);
         self.waiters.fetch_sub(1, Ordering::Release);
@@ -309,6 +341,13 @@ impl ParkSlot {
     ///
     /// [`SeqCst`]: Ordering::SeqCst
     pub fn wake_if_waiting(&self) {
+        // Mutation self-check (`--cfg loom_mutate_park_fence`): removing
+        // this fence re-opens the classic lost-wakeup window — the event
+        // store can sit in the waker's store buffer while it reads a
+        // pre-registration `waiters == 0`, and the waiter's re-check then
+        // misses the event. `tests/loom_models.rs` asserts the model
+        // checker finds that deadlock.
+        #[cfg(not(loom_mutate_park_fence))]
         fence(Ordering::SeqCst);
         if self.waiters.load(Ordering::Relaxed) > 0 {
             self.wake_all();

@@ -43,9 +43,10 @@
 use crate::ingest::{IngressLanes, IngressShared};
 use crate::pool::{FaultPolicy, PoolHandle, TaskPool};
 use crate::stats::PlaceStats;
+use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use crate::sync::thread;
 use crossbeam_utils::Backoff;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -113,8 +114,8 @@ pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// rests on (see [`crate::ingest`]).
 pub(crate) struct FaultCell {
     policy: FaultPolicy,
-    payload: parking_lot::Mutex<Option<Box<dyn std::any::Any + Send>>>,
-    failures: parking_lot::Mutex<Vec<FailureReport>>,
+    payload: crate::sync::Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    failures: crate::sync::Mutex<Vec<FailureReport>>,
     failed: AtomicU64,
 }
 
@@ -122,8 +123,8 @@ impl FaultCell {
     pub(crate) fn new(policy: FaultPolicy) -> Self {
         FaultCell {
             policy,
-            payload: parking_lot::Mutex::new(None),
-            failures: parking_lot::Mutex::new(Vec::new()),
+            payload: crate::sync::Mutex::new(None),
+            failures: crate::sync::Mutex::new(Vec::new()),
             failed: AtomicU64::new(0),
         }
     }
@@ -668,7 +669,7 @@ impl<Pool> Scheduler<Pool> {
         let start = Instant::now();
         let mut per_place: Vec<(u64, u64, PlaceStats)> = Vec::with_capacity(nplaces);
 
-        std::thread::scope(|s| {
+        thread::scope(|s| {
             let mut joins = Vec::with_capacity(nplaces);
             let mut roots = Some(roots);
             for place in 0..nplaces {

@@ -34,7 +34,8 @@ use crate::ingest::{IngestHandle, IngressLanes, SubmitError};
 use crate::pool::{FaultPolicy, PoolHandle, TaskPool};
 use crate::scheduler::{place_loop, FailureReport, FaultCell, PoolAborted, RunStats, TaskExecutor};
 use crate::stats::PlaceStats;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use crate::sync::thread;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -71,7 +72,7 @@ pub struct PoolService<T: Send + 'static> {
     pending: Arc<AtomicU64>,
     abort: Arc<AtomicBool>,
     faults: Arc<FaultCell>,
-    workers: Vec<std::thread::JoinHandle<(u64, u64, PlaceStats)>>,
+    workers: Vec<thread::JoinHandle<(u64, u64, PlaceStats)>>,
     started: Instant,
 }
 
@@ -145,7 +146,7 @@ impl<T: Send + 'static> PoolService<T> {
             let abort = Arc::clone(&abort);
             let faults = Arc::clone(&faults);
             let shared = Arc::clone(lanes.shared());
-            let join = std::thread::Builder::new()
+            let join = thread::Builder::new()
                 .name(format!("priosched-place-{place}"))
                 .spawn(move || {
                     let mut handle = pool.handle(place);

@@ -13,7 +13,7 @@
 //! (created with [`FinishRegion::register`]) that completes the task when
 //! dropped — including on panic, so regions cannot leak open.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A counter of tasks transitively spawned inside a finish region.

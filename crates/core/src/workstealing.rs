@@ -18,9 +18,9 @@
 
 use crate::pool::{PoolHandle, TaskPool};
 use crate::stats::PlaceStats;
+use crate::sync::Mutex;
 use crate::util::XorShift64;
 use crossbeam_utils::CachePadded;
-use parking_lot::Mutex;
 use priosched_pq::{BinaryHeap, SequentialPriorityQueue};
 use std::sync::Arc;
 

@@ -1,0 +1,84 @@
+//! Runner for the loom interleaving models (see `src/models.rs` and the
+//! crate-level "Model-checked properties" section).
+//!
+//! Compiled only under `--cfg loom`:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p priosched-core --test loom_models --release
+//! ```
+//!
+//! The two mutation self-checks run under an *additional* cfg that plants
+//! a deliberate bug in the library and assert the checker finds it:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom --cfg loom_mutate_park_fence"   cargo test -p priosched-core --test loom_models --release
+//! RUSTFLAGS="--cfg loom --cfg loom_mutate_combine_done" cargo test -p priosched-core --test loom_models --release
+//! ```
+//!
+//! The regular models are gated off in the mutated builds — the planted
+//! bug makes them (correctly) fail, which is exactly what the self-check
+//! asserts via `catch_unwind`.
+#![cfg(loom)]
+
+use priosched_core::models;
+
+#[cfg(not(any(loom_mutate_park_fence, loom_mutate_combine_done)))]
+mod checked {
+    use super::models;
+
+    #[test]
+    fn parker_no_lost_wakeup() {
+        models::parker_no_lost_wakeup();
+    }
+
+    #[test]
+    fn combiner_exactly_once_handoff() {
+        models::combiner_exactly_once_handoff();
+    }
+
+    #[test]
+    fn free_list_no_aba_double_pop() {
+        models::free_list_no_aba_double_pop();
+    }
+
+    #[test]
+    fn multiqueue_scan_finds_present_item() {
+        models::multiqueue_scan_finds_present_item();
+    }
+
+    #[test]
+    fn ingress_counters_never_hide_a_task() {
+        models::ingress_counters_never_hide_a_task();
+    }
+
+    #[test]
+    fn structural_pop_vs_raid_exactly_once() {
+        models::structural_pop_vs_raid_exactly_once();
+    }
+}
+
+/// Self-check: with the `wake_if_waiting` fence removed, the parker model
+/// must *fail* (the explorer finds the lost-wakeup deadlock). A green run
+/// here would mean the checker is blind.
+#[cfg(loom_mutate_park_fence)]
+#[test]
+fn mutation_park_fence_is_caught() {
+    let result = std::panic::catch_unwind(models::parker_no_lost_wakeup);
+    assert!(
+        result.is_err(),
+        "checker failed to find the planted lost-wakeup (missing fence)"
+    );
+}
+
+/// Self-check: with the combiner's DONE store moved before the response
+/// write, the handoff model must *fail* (a woken waiter reads an empty
+/// response cell in some schedule).
+#[cfg(loom_mutate_combine_done)]
+#[test]
+fn mutation_combine_done_is_caught() {
+    let result = std::panic::catch_unwind(models::combiner_exactly_once_handoff);
+    assert!(
+        result.is_err(),
+        "checker failed to find the planted DONE-before-response reorder"
+    );
+}

@@ -1,0 +1,94 @@
+//! Model-thread spawning, mirroring `std::thread`.
+
+use crate::rt;
+use std::any::Any;
+use std::marker::PhantomData;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Handle to a spawned model thread.
+pub struct JoinHandle<T> {
+    tid: usize,
+    slot: Arc<Mutex<Option<T>>>,
+    _not_copy: PhantomData<*const ()>,
+}
+
+// The handle owns no thread-local state; it is a ticket for the result.
+unsafe impl<T: Send> Send for JoinHandle<T> {}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish and return its result; `Err` carries
+    /// a stand-in payload if the thread panicked (in practice a model
+    /// thread panic aborts the whole execution first).
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        rt::join_model(self.tid);
+        match self.slot.lock().unwrap_or_else(|e| e.into_inner()).take() {
+            Some(v) => Ok(v),
+            None => Err(Box::new("loom model thread panicked")),
+        }
+    }
+}
+
+/// Spawn a new model thread.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let slot = Arc::new(Mutex::new(None));
+    let writer = Arc::clone(&slot);
+    let tid = rt::spawn_model(Box::new(move || {
+        let v = f();
+        *writer.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+    }));
+    JoinHandle {
+        tid,
+        slot,
+        _not_copy: PhantomData,
+    }
+}
+
+/// Voluntary reschedule point; the yielding thread runs again only when no
+/// other thread is runnable (prevents spin loops from monopolising the
+/// explored schedule).
+pub fn yield_now() {
+    rt::yield_now();
+}
+
+/// Model time does not advance; sleeping is just a yield.
+pub fn sleep(_dur: Duration) {
+    rt::yield_now();
+}
+
+/// `std::thread::Builder` lookalike; the name is accepted and dropped.
+#[derive(Default)]
+pub struct Builder {
+    _name: Option<String>,
+}
+
+impl Builder {
+    /// Create a builder.
+    pub fn new() -> Builder {
+        Builder::default()
+    }
+
+    /// Names are ignored by the model.
+    pub fn name(mut self, name: String) -> Builder {
+        self._name = Some(name);
+        self
+    }
+
+    /// Stack size is ignored by the model.
+    pub fn stack_size(self, _size: usize) -> Builder {
+        self
+    }
+
+    /// Spawn via [`spawn`]; never fails.
+    pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        Ok(spawn(f))
+    }
+}
